@@ -1,0 +1,64 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Sizes: by default the keys/processor sweep is scaled down 8x from the
+// thesis (16K..128K instead of 128K..1M) so the full bench suite runs in
+// minutes; set REPRO_FULL=1 in the environment for the paper-scale sweep.
+//
+// Times: simulated Meiko CS-2 times.  Compute phases are measured on the
+// host and multiplied by a CPU scale factor calibrated so local radix
+// sort costs what it did on the 40 MHz SuperSparc (~0.30 us/key/pass
+// regime); communication is charged analytically from the LogGP Meiko
+// parameters.  Absolute agreement with the thesis is not the goal —
+// shape (who wins, by what factor, where crossovers fall) is.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simd/machine.hpp"
+
+namespace bsort::bench {
+
+/// keys/processor sweep: {16K,32K,64K,128K}, or the thesis' sizes
+/// {128K,256K,512K,1M} when REPRO_FULL=1.
+std::vector<std::size_t> keys_per_proc_sweep();
+bool full_mode();
+
+/// Label like "128K" for a keys/proc count.
+std::string size_label(std::size_t keys_per_proc);
+
+/// CPU scale factor modeling the 40 MHz SuperSparc relative to this host
+/// (overridable via MEIKO_CPU_SCALE).  Calibrated in bench_common.cpp.
+double meiko_cpu_scale();
+
+struct SortResult {
+  double total_us = 0;
+  double compute_us = 0;
+  double pack_us = 0;
+  double transfer_us = 0;
+  double unpack_us = 0;
+  simd::CommStats comm;   ///< totals over all processors
+  bool ok = false;        ///< output verified sorted
+  [[nodiscard]] double comm_us() const { return pack_us + transfer_us + unpack_us; }
+};
+
+/// Run an SPMD sort over blocked slices of fresh keys.  The run is
+/// repeated `reps` times and the repetition with the smallest simulated
+/// total time is reported: timed sections run under a host scheduler, so
+/// a preempted section occasionally inflates a measurement and the
+/// minimum is the faithful estimate.
+SortResult run_blocked_sort(
+    std::size_t total_keys, int nprocs, simd::MessageMode mode, double cpu_scale,
+    const std::function<void(simd::Proc&, std::span<std::uint32_t>)>& body,
+    std::uint64_t seed = 1, int reps = 3);
+
+/// Run an SPMD sort where processors own growable vectors (radix/sample).
+SortResult run_vector_sort(
+    std::size_t total_keys, int nprocs, simd::MessageMode mode, double cpu_scale,
+    const std::function<void(simd::Proc&, std::vector<std::uint32_t>&)>& body,
+    std::uint64_t seed = 1, int reps = 3);
+
+}  // namespace bsort::bench

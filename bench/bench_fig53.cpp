@@ -1,0 +1,38 @@
+// Reproduces Figure 5.3: total sorting time and speedup for 1M keys on
+// 2..32 processors (smart bitonic sort).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bitonic/sorts.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace bsort;
+  const std::size_t total = bench::full_mode() ? (1u << 20) : (1u << 18);
+  const double scale = bench::meiko_cpu_scale();
+  std::cout << "=== Figure 5.3: smart bitonic sort, " << total
+            << " total keys, P = 2..32 ===\n\n";
+
+  // As in the thesis, the curve starts at P=2 (the machine's smallest
+  // partition); speedup is relative to the P=2 run.
+  util::Table t({"P", "total (s)", "us/key", "speedup vs P=2"});
+  double t2 = 0;
+  for (const int P : {2, 4, 8, 16, 32}) {
+    const auto r = bench::run_blocked_sort(
+        total, P, simd::MessageMode::kLong, scale,
+        [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); });
+    if (!r.ok) {
+      std::cerr << "ERROR: unsorted output at P=" << P << "\n";
+      return 1;
+    }
+    if (P == 2) t2 = r.total_us;
+    t.add_row({std::to_string(P), util::Table::fmt(r.total_us / 1e6, 3),
+               util::Table::fmt(r.total_us / static_cast<double>(total), 4),
+               util::Table::fmt(t2 / r.total_us, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: total time falls monotonically with P; "
+               "speedup grows sublinearly (the communication share rises "
+               "with P, as in the thesis' Figure 5.3).\n";
+  return 0;
+}

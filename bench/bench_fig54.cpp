@@ -1,0 +1,40 @@
+// Reproduces Figure 5.4: breakdown of the communication and computation
+// phases of the smart bitonic sort on 16 processors across keys/proc.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bitonic/sorts.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace bsort;
+  const int P = 16;
+  const double scale = bench::meiko_cpu_scale();
+  std::cout << "=== Figure 5.4: computation/communication breakdown, smart "
+               "bitonic sort, "
+            << P << " processors ===\n\n";
+
+  util::Table t({"Keys/proc", "compute (us/key)", "comm (us/key)", "compute %",
+                 "comm %"});
+  for (const std::size_t n : bench::keys_per_proc_sweep()) {
+    const auto r = bench::run_blocked_sort(
+        n * static_cast<std::size_t>(P), P, simd::MessageMode::kLong, scale,
+        [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); });
+    if (!r.ok) {
+      std::cerr << "ERROR: unsorted output\n";
+      return 1;
+    }
+    const double dn = static_cast<double>(n);
+    const double comp = r.compute_us / dn;
+    const double comm = r.comm_us() / dn;
+    t.add_row({bench::size_label(n), util::Table::fmt(comp, 3),
+               util::Table::fmt(comm, 3),
+               util::Table::fmt(100 * comp / (comp + comm), 1),
+               util::Table::fmt(100 * comm / (comp + comm), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: with growing keys/proc the computation share "
+               "of the total time grows (the paper attributes the growth to "
+               "cache misses in the local phases).\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// google-benchmark micro suite for the local kernels and layout machinery.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "layout/remap.hpp"
+#include "localsort/bitonic_merge.hpp"
+#include "localsort/pway_merge.hpp"
+#include "localsort/radix_sort.hpp"
+#include "net/network.hpp"
+#include "net/sequence.hpp"
+#include "schedule/smart_schedule.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace bsort;
+
+void BM_RadixSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = util::generate_keys(n, util::KeyDistribution::kUniform31, 1);
+  std::vector<std::uint32_t> keys(n), scratch;
+  for (auto _ : state) {
+    keys = input;
+    localsort::radix_sort(std::span<std::uint32_t>(keys.data(), n), scratch);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_RadixSort)->Range(1 << 10, 1 << 20);
+
+void BM_StdSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = util::generate_keys(n, util::KeyDistribution::kUniform31, 1);
+  std::vector<std::uint32_t> keys(n);
+  for (auto _ : state) {
+    keys = input;
+    std::sort(keys.begin(), keys.end());
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_StdSort)->Range(1 << 10, 1 << 20);
+
+std::vector<std::uint32_t> rotated_bitonic(std::size_t n, std::size_t rot) {
+  std::vector<std::uint32_t> v(n);
+  for (std::size_t i = 0; i < n / 2; ++i) v[i] = static_cast<std::uint32_t>(2 * i);
+  for (std::size_t i = n / 2; i < n; ++i) v[i] = static_cast<std::uint32_t>(2 * (n - i) - 1);
+  std::rotate(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(rot), v.end());
+  return v;
+}
+
+void BM_BitonicMergeSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = rotated_bitonic(n, n / 3);
+  std::vector<std::uint32_t> out(n);
+  for (auto _ : state) {
+    localsort::bitonic_merge_sort(input, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BitonicMergeSort)->Range(1 << 10, 1 << 20);
+
+void BM_BitonicMinLog(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = rotated_bitonic(n, n / 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::bitonic_min_index_log(input).index);
+  }
+}
+BENCHMARK(BM_BitonicMinLog)->Range(1 << 10, 1 << 22);
+
+void BM_BitonicMinLinear(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = rotated_bitonic(n, n / 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::bitonic_min_index_linear(input));
+  }
+}
+BENCHMARK(BM_BitonicMinLinear)->Range(1 << 10, 1 << 22);
+
+void BM_PwayMerge(benchmark::State& state) {
+  const auto runs_count = static_cast<std::size_t>(state.range(0));
+  const std::size_t per_run = 1 << 14;
+  std::vector<std::vector<std::uint32_t>> data(runs_count);
+  std::vector<localsort::Run> runs;
+  for (std::size_t i = 0; i < runs_count; ++i) {
+    data[i] = util::generate_keys(per_run, util::KeyDistribution::kUniform31, i);
+    std::sort(data[i].begin(), data[i].end());
+    runs.push_back({data[i], true});
+  }
+  std::vector<std::uint32_t> out(runs_count * per_run);
+  for (auto _ : state) {
+    localsort::pway_merge(runs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) * state.iterations());
+}
+BENCHMARK(BM_PwayMerge)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_BuildExchangePlan(benchmark::State& state) {
+  const int log_n = static_cast<int>(state.range(0));
+  const auto from = layout::BitLayout::blocked(log_n, 4);
+  const auto to =
+      layout::BitLayout::smart(log_n, 4, layout::smart_params(log_n, 4, 1, log_n + 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout::build_exchange_plan(from, to, 5));
+  }
+  state.SetItemsProcessed((std::int64_t{1} << log_n) * state.iterations());
+}
+BENCHMARK(BM_BuildExchangePlan)->DenseRange(10, 18, 4);
+
+void BM_ReferenceNetworkSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = util::generate_keys(n, util::KeyDistribution::kUniform31, 1);
+  std::vector<std::uint32_t> keys(n);
+  for (auto _ : state) {
+    keys = input;
+    net::reference_sort(std::span<std::uint32_t>(keys.data(), n));
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ReferenceNetworkSort)->Range(1 << 10, 1 << 16);
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Reproduces Table 5.1 / Figure 5.2 (execution time per key) and
+// Table 5.2 / Figure 5.1 (total execution time) for the three bitonic
+// sort implementations on 32 simulated processors.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bitonic/sorts.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace bsort;
+  const int P = 32;
+  const double scale = bench::meiko_cpu_scale();
+  std::cout << "=== Table 5.1 / Figures 5.1-5.2: bitonic sort implementations, "
+            << P << " processors ===\n";
+  std::cout << "(cpu scale " << scale << "; paper values in parentheses; paper "
+               "sweep was 128K..1M keys/proc";
+  if (!bench::full_mode()) std::cout << ", scaled down here — set REPRO_FULL=1";
+  std::cout << ")\n\n";
+
+  // Paper values, Table 5.1 (us/key) and Table 5.2 (seconds), rows
+  // 128K, 256K, 512K, 1024K keys/proc.
+  const double paper_per_key[3][4] = {{1.07, 1.19, 1.26, 1.25},
+                                      {0.68, 0.75, 0.89, 0.86},
+                                      {0.52, 0.51, 0.53, 0.59}};
+  const double paper_total[3][4] = {{5.52, 10.04, 21.14, 42.03},
+                                    {2.85, 6.35, 14.96, 28.58},
+                                    {2.18, 4.26, 8.95, 20.01}};
+
+  util::Table t1({"Keys/proc", "Blocked-Merge", "Cyclic-Blocked", "Smart",
+                  "CB/Smart", "paper CB/Smart"});
+  util::Table t2({"Keys/proc", "Blocked-Merge (s)", "Cyclic-Blocked (s)", "Smart (s)"});
+
+  const auto sweep = bench::keys_per_proc_sweep();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const std::size_t n = sweep[i];
+    const std::size_t total = n * static_cast<std::size_t>(P);
+    const auto bm = bench::run_blocked_sort(
+        total, P, simd::MessageMode::kLong, scale,
+        [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::blocked_merge_sort(p, s); });
+    const auto cb = bench::run_blocked_sort(
+        total, P, simd::MessageMode::kLong, scale,
+        [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::cyclic_blocked_sort(p, s); });
+    const auto sm = bench::run_blocked_sort(
+        total, P, simd::MessageMode::kLong, scale,
+        [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); });
+    if (!bm.ok || !cb.ok || !sm.ok) {
+      std::cerr << "ERROR: unsorted output\n";
+      return 1;
+    }
+    const double dn = static_cast<double>(n);
+    const auto cell = [&](double us, double paper) {
+      return util::Table::fmt(us, 2) + " (" + util::Table::fmt(paper, 2) + ")";
+    };
+    t1.add_row({bench::size_label(n), cell(bm.total_us / dn, paper_per_key[0][i]),
+                cell(cb.total_us / dn, paper_per_key[1][i]),
+                cell(sm.total_us / dn, paper_per_key[2][i]),
+                util::Table::fmt(cb.total_us / sm.total_us, 2),
+                util::Table::fmt(paper_per_key[1][i] / paper_per_key[2][i], 2)});
+    t2.add_row({bench::size_label(n), cell(bm.total_us / 1e6, paper_total[0][i]),
+                cell(cb.total_us / 1e6, paper_total[1][i]),
+                cell(sm.total_us / 1e6, paper_total[2][i])});
+  }
+  std::cout << "Execution time per key (us) [Table 5.1 / Fig 5.2]:\n";
+  t1.print(std::cout);
+  std::cout << "\nTotal execution time (s) [Table 5.2 / Fig 5.1]";
+  if (!bench::full_mode()) {
+    std::cout << " — paper totals are for 8x larger inputs";
+  }
+  std::cout << ":\n";
+  t2.print(std::cout);
+  std::cout << "\nExpected shape: Smart < Cyclic-Blocked < Blocked-Merge at "
+               "every size.\n";
+  return 0;
+}

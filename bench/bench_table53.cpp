@@ -1,0 +1,52 @@
+// Reproduces Table 5.3 / Figure 5.5: communication time per key for the
+// short-message vs long-message versions of the smart bitonic sort on 16
+// processors.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bitonic/sorts.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace bsort;
+  const int P = 16;
+  const double scale = bench::meiko_cpu_scale();
+  std::cout << "=== Table 5.3 / Figure 5.5: short vs long messages, smart "
+               "bitonic sort, "
+            << P << " processors ===\n";
+  std::cout << "(communication time per key, us; paper values in "
+               "parentheses)\n\n";
+
+  const double paper_short[4] = {13.23, 13.25, 13.26, 13.74};
+  const double paper_long[4] = {0.98, 1.09, 1.12, 1.21};
+
+  util::Table t({"Keys/proc", "Short messages", "Long messages", "ratio",
+                 "paper ratio"});
+  const auto sweep = bench::keys_per_proc_sweep();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const std::size_t n = sweep[i];
+    const std::size_t total = n * static_cast<std::size_t>(P);
+    const auto rs = bench::run_blocked_sort(
+        total, P, simd::MessageMode::kShort, scale,
+        [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); });
+    const auto rl = bench::run_blocked_sort(
+        total, P, simd::MessageMode::kLong, scale,
+        [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); });
+    if (!rs.ok || !rl.ok) {
+      std::cerr << "ERROR: unsorted output\n";
+      return 1;
+    }
+    const double dn = static_cast<double>(n);
+    const double cs = rs.comm_us() / dn;
+    const double cl = rl.comm_us() / dn;
+    t.add_row({bench::size_label(n),
+               util::Table::fmt(cs, 2) + " (" + util::Table::fmt(paper_short[i], 2) + ")",
+               util::Table::fmt(cl, 2) + " (" + util::Table::fmt(paper_long[i], 2) + ")",
+               util::Table::fmt(cs / cl, 1),
+               util::Table::fmt(paper_short[i] / paper_long[i], 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: an order of magnitude between short- and "
+               "long-message communication time (the g vs G gap of LogGP).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Adaptive sort: use the LogGP model (Section 3.4.3) to pick the best
+// remapping strategy for the machine at hand, then run it through the
+// high-level parallel_sort facade.
+//
+//   ./example_adaptive_sort [total_keys] [processors] [short|long]
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "api/parallel_sort.hpp"
+#include "loggp/choose.hpp"
+#include "util/bits.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bsort;
+  const std::size_t total = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1u << 20);
+  const int P = argc > 2 ? std::atoi(argv[2]) : 8;
+  const bool long_messages = argc > 3 ? std::strcmp(argv[3], "short") != 0 : true;
+  if (!util::is_pow2(total) || !util::is_pow2(static_cast<std::uint64_t>(P)) ||
+      total < static_cast<std::size_t>(2 * P)) {
+    std::cerr << "total_keys and processors must be powers of two with total >= 2*P\n";
+    return 1;
+  }
+  const std::uint64_t n = total / static_cast<std::uint64_t>(P);
+  const auto params = loggp::meiko_cs2();
+
+  std::cout << "Model predictions for n=" << n << " keys/proc on P=" << P
+            << " (Meiko CS-2 LogGP parameters):\n\n";
+  util::Table t({"strategy", "remaps", "volume/proc", "messages/proc",
+                 "LogP time (ms)", "LogGP time (ms)"});
+  for (const auto s : {loggp::Strategy::kBlocked, loggp::Strategy::kCyclicBlocked,
+                       loggp::Strategy::kSmart}) {
+    if (s == loggp::Strategy::kCyclicBlocked && n < static_cast<std::uint64_t>(P)) {
+      t.add_row({std::string(loggp::strategy_name(s)), "-", "-", "-",
+                 "inadmissible (N < P^2)", "-"});
+      continue;
+    }
+    const auto pred = loggp::predict(s, params, n, static_cast<std::uint64_t>(P));
+    t.add_row({std::string(loggp::strategy_name(s)), std::to_string(pred.metrics.remaps),
+               std::to_string(pred.metrics.elements),
+               std::to_string(pred.metrics.messages),
+               util::Table::fmt(pred.time_short_us / 1e3, 2),
+               util::Table::fmt(pred.time_long_us / 1e3, 2)});
+  }
+  t.print(std::cout);
+
+  const auto pick =
+      loggp::choose_strategy(params, n, static_cast<std::uint64_t>(P), long_messages);
+  std::cout << "\nChooser picks: " << loggp::strategy_name(pick) << " (with "
+            << (long_messages ? "long" : "short") << " messages)\n\n";
+
+  api::Config cfg;
+  cfg.nprocs = P;
+  cfg.mode = long_messages ? simd::MessageMode::kLong : simd::MessageMode::kShort;
+  switch (pick) {
+    case loggp::Strategy::kBlocked:
+      cfg.algorithm = api::Algorithm::kBlockedMergeBitonic;
+      break;
+    case loggp::Strategy::kCyclicBlocked:
+      cfg.algorithm = api::Algorithm::kCyclicBlockedBitonic;
+      break;
+    case loggp::Strategy::kSmart:
+      cfg.algorithm = api::Algorithm::kSmartBitonic;
+      break;
+  }
+  auto keys = util::generate_keys(total, util::KeyDistribution::kUniform31, 11);
+  const auto outcome = api::parallel_sort(keys, cfg);
+  std::cout << "Ran " << api::algorithm_name(cfg.algorithm) << ": "
+            << (outcome.sorted ? "sorted" : "FAILED") << ", simulated "
+            << outcome.report.makespan_us / 1e6 << " s ("
+            << outcome.report.makespan_us / static_cast<double>(n) << " us/key/proc), "
+            << outcome.report.total_comm().messages_sent << " messages total\n";
+  return outcome.sorted ? 0 : 1;
+}

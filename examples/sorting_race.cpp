@@ -1,0 +1,113 @@
+// Sorting race: run all five parallel sorts on the same input and print a
+// comparison table (a miniature of the Chapter 5 evaluation).
+//
+//   ./example_sorting_race [total_keys] [processors] [distribution]
+//   distribution: uniform | lowentropy | sorted | reversed
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "bitonic/sorts.hpp"
+#include "loggp/params.hpp"
+#include "psort/psort.hpp"
+#include "simd/machine.hpp"
+#include "util/bits.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace bsort;
+
+struct Result {
+  double total_us;
+  double compute_us;
+  double comm_us;
+  bool sorted;
+};
+
+Result run_blocked(const std::vector<std::uint32_t>& input, int P,
+                   const std::function<void(simd::Proc&, std::span<std::uint32_t>)>& body) {
+  auto keys = input;
+  const std::size_t n = keys.size() / static_cast<std::size_t>(P);
+  simd::Machine machine(P, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  const auto rep = machine.run([&](simd::Proc& p) {
+    body(p, std::span<std::uint32_t>(keys.data() + static_cast<std::size_t>(p.rank()) * n, n));
+  });
+  const auto& ph = rep.critical_phases();
+  return {rep.makespan_us, ph.compute(), ph.pack() + ph.transfer() + ph.unpack(),
+          std::is_sorted(keys.begin(), keys.end())};
+}
+
+Result run_vec(const std::vector<std::uint32_t>& input, int P,
+               const std::function<void(simd::Proc&, std::vector<std::uint32_t>&)>& body) {
+  const std::size_t n = input.size() / static_cast<std::size_t>(P);
+  std::vector<std::vector<std::uint32_t>> slices(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    slices[static_cast<std::size_t>(r)].assign(
+        input.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r) * n),
+        input.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r + 1) * n));
+  }
+  simd::Machine machine(P, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  const auto rep =
+      machine.run([&](simd::Proc& p) { body(p, slices[static_cast<std::size_t>(p.rank())]); });
+  std::vector<std::uint32_t> out;
+  for (const auto& s : slices) out.insert(out.end(), s.begin(), s.end());
+  const auto& ph = rep.critical_phases();
+  return {rep.makespan_us, ph.compute(), ph.pack() + ph.transfer() + ph.unpack(),
+          std::is_sorted(out.begin(), out.end())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t total = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1u << 20);
+  const int P = argc > 2 ? std::atoi(argv[2]) : 16;
+  util::KeyDistribution dist = util::KeyDistribution::kUniform31;
+  const char* dist_name = "uniform";
+  if (argc > 3) {
+    dist_name = argv[3];
+    if (std::strcmp(argv[3], "lowentropy") == 0) dist = util::KeyDistribution::kLowEntropy;
+    else if (std::strcmp(argv[3], "sorted") == 0) dist = util::KeyDistribution::kSorted;
+    else if (std::strcmp(argv[3], "reversed") == 0) dist = util::KeyDistribution::kReversed;
+  }
+  if (!util::is_pow2(total) || !util::is_pow2(static_cast<std::uint64_t>(P)) ||
+      total < static_cast<std::size_t>(P) * static_cast<std::size_t>(P)) {
+    std::cerr << "total_keys and processors must be powers of two with total >= P^2\n";
+    return 1;
+  }
+  const auto input = util::generate_keys(total, dist, 424242);
+  const double n = static_cast<double>(total) / P;
+
+  std::cout << "Sorting race: " << total << " keys (" << dist_name << ") on " << P
+            << " simulated processors\n\n";
+  util::Table t({"algorithm", "us/key", "total (s)", "compute (s)", "comm (s)", "ok"});
+  const auto row = [&](const char* name, const Result& r) {
+    t.add_row({name, util::Table::fmt(r.total_us / n, 3),
+               util::Table::fmt(r.total_us / 1e6, 3),
+               util::Table::fmt(r.compute_us / 1e6, 3),
+               util::Table::fmt(r.comm_us / 1e6, 3), r.sorted ? "yes" : "NO"});
+  };
+
+  row("bitonic blocked-merge", run_blocked(input, P, [](simd::Proc& p, auto s) {
+        bitonic::blocked_merge_sort(p, s);
+      }));
+  row("bitonic cyclic-blocked", run_blocked(input, P, [](simd::Proc& p, auto s) {
+        bitonic::cyclic_blocked_sort(p, s);
+      }));
+  row("bitonic smart (this paper)", run_blocked(input, P, [](simd::Proc& p, auto s) {
+        bitonic::smart_sort(p, s);
+      }));
+  row("parallel radix", run_vec(input, P, [](simd::Proc& p, auto& v) {
+        psort::parallel_radix_sort(p, v);
+      }));
+  row("parallel sample", run_vec(input, P, [](simd::Proc& p, auto& v) {
+        psort::parallel_sample_sort(p, v);
+      }));
+  t.print(std::cout);
+  std::cout << "\nTimes are simulated Meiko CS-2 times (thread-CPU compute + "
+               "LogGP communication).\n";
+  return 0;
+}

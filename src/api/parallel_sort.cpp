@@ -1,0 +1,110 @@
+#include "api/parallel_sort.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "psort/column_sort.hpp"
+#include "psort/psort.hpp"
+#include "util/bits.hpp"
+
+namespace bsort::api {
+
+std::string_view algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSmartBitonic:
+      return "bitonic/smart";
+    case Algorithm::kCyclicBlockedBitonic:
+      return "bitonic/cyclic-blocked";
+    case Algorithm::kBlockedMergeBitonic:
+      return "bitonic/blocked-merge";
+    case Algorithm::kNaiveBitonic:
+      return "bitonic/naive";
+    case Algorithm::kParallelRadix:
+      return "radix";
+    case Algorithm::kSampleSort:
+      return "sample";
+    case Algorithm::kColumnSort:
+      return "column";
+  }
+  return "?";
+}
+
+bool config_valid(const Config& config, std::size_t total_keys) {
+  if (config.nprocs < 1 || !util::is_pow2(static_cast<std::uint64_t>(config.nprocs))) {
+    return false;
+  }
+  if (total_keys == 0 || !util::is_pow2(total_keys)) return false;
+  if (total_keys % static_cast<std::size_t>(config.nprocs) != 0) return false;
+  const std::uint64_t n = total_keys / static_cast<std::size_t>(config.nprocs);
+  switch (config.algorithm) {
+    case Algorithm::kSmartBitonic:
+      return n >= 2;
+    case Algorithm::kCyclicBlockedBitonic:
+      return n >= static_cast<std::uint64_t>(config.nprocs);  // N >= P^2
+    case Algorithm::kBlockedMergeBitonic:
+    case Algorithm::kNaiveBitonic:
+    case Algorithm::kParallelRadix:
+    case Algorithm::kSampleSort:
+      return n >= 1;
+    case Algorithm::kColumnSort:
+      return psort::column_sort_shape_ok(n, static_cast<std::uint64_t>(config.nprocs));
+  }
+  return false;
+}
+
+Outcome parallel_sort(std::vector<std::uint32_t>& keys, const Config& config) {
+  assert(config_valid(config, keys.size()));
+  const std::size_t n = keys.size() / static_cast<std::size_t>(config.nprocs);
+  simd::Machine machine(config.nprocs, config.params, config.mode, config.cpu_scale);
+
+  Outcome out;
+  if (config.algorithm == Algorithm::kParallelRadix ||
+      config.algorithm == Algorithm::kSampleSort) {
+    // Vector-based sorts (sample sort's partition sizes vary).
+    std::vector<std::vector<std::uint32_t>> slices(
+        static_cast<std::size_t>(config.nprocs));
+    for (int r = 0; r < config.nprocs; ++r) {
+      slices[static_cast<std::size_t>(r)].assign(
+          keys.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r) * n),
+          keys.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r + 1) * n));
+    }
+    out.report = machine.run([&](simd::Proc& p) {
+      auto& mine = slices[static_cast<std::size_t>(p.rank())];
+      if (config.algorithm == Algorithm::kParallelRadix) {
+        psort::parallel_radix_sort(p, mine);
+      } else {
+        psort::parallel_sample_sort(p, mine);
+      }
+    });
+    keys.clear();
+    for (const auto& s : slices) keys.insert(keys.end(), s.begin(), s.end());
+  } else {
+    out.report = machine.run([&](simd::Proc& p) {
+      std::span<std::uint32_t> slice(
+          keys.data() + static_cast<std::size_t>(p.rank()) * n, n);
+      switch (config.algorithm) {
+        case Algorithm::kSmartBitonic:
+          bitonic::smart_sort(p, slice, config.smart);
+          break;
+        case Algorithm::kCyclicBlockedBitonic:
+          bitonic::cyclic_blocked_sort(p, slice);
+          break;
+        case Algorithm::kBlockedMergeBitonic:
+          bitonic::blocked_merge_sort(p, slice);
+          break;
+        case Algorithm::kNaiveBitonic:
+          bitonic::naive_blocked_sort(p, slice);
+          break;
+        case Algorithm::kColumnSort:
+          psort::column_sort(p, slice);
+          break;
+        default:
+          break;
+      }
+    });
+  }
+  out.sorted = std::is_sorted(keys.begin(), keys.end());
+  return out;
+}
+
+}  // namespace bsort::api

@@ -1,0 +1,52 @@
+// One-call facade over the whole library: construct the simulated
+// machine, scatter the keys, run the chosen parallel sorting algorithm,
+// gather, and report simulated times.  This is the entry point a
+// downstream user starts from (see examples/quickstart.cpp for the
+// lower-level SPMD interface).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bitonic/sorts.hpp"
+#include "loggp/params.hpp"
+#include "simd/machine.hpp"
+
+namespace bsort::api {
+
+enum class Algorithm {
+  kSmartBitonic,          ///< the paper's contribution (Algorithm 1)
+  kCyclicBlockedBitonic,  ///< [CDMS94] baseline
+  kBlockedMergeBitonic,   ///< [BLM+91] baseline
+  kNaiveBitonic,          ///< Chapter 2.2 butterfly simulation
+  kParallelRadix,         ///< comparator sort (Chapter 5.5)
+  kSampleSort,            ///< comparator sort (Chapter 5.5)
+  kColumnSort,            ///< Leighton 1985 (Chapter 6 related work)
+};
+
+std::string_view algorithm_name(Algorithm a);
+
+struct Config {
+  int nprocs = 16;
+  simd::MessageMode mode = simd::MessageMode::kLong;
+  loggp::Params params = loggp::meiko_cs2();
+  double cpu_scale = 1.0;
+  Algorithm algorithm = Algorithm::kSmartBitonic;
+  bitonic::SmartOptions smart;  ///< used by kSmartBitonic only
+};
+
+struct Outcome {
+  simd::RunReport report;
+  bool sorted = false;  ///< output verified in non-decreasing order
+};
+
+/// True iff `config` can sort `total_keys` keys (power-of-two and shape
+/// constraints of the selected algorithm).
+bool config_valid(const Config& config, std::size_t total_keys);
+
+/// Sort `keys` in place on the simulated machine.  Requires
+/// config_valid(config, keys.size()).
+Outcome parallel_sort(std::vector<std::uint32_t>& keys, const Config& config);
+
+}  // namespace bsort::api

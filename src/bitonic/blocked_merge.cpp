@@ -1,0 +1,69 @@
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "bitonic/sorts.hpp"
+#include "localsort/radix_sort.hpp"
+#include "util/bits.hpp"
+
+namespace bsort::bitonic {
+
+void blocked_merge_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
+  const auto rank = static_cast<std::uint64_t>(p.rank());
+  const int log_p = util::ilog2(static_cast<std::uint64_t>(p.nprocs()));
+  assert(util::is_pow2(keys.size()));
+  std::vector<std::uint32_t> scratch;
+
+  // First lg n stages: one local sort; the block's merge direction is the
+  // parity of bit lg n of its absolute addresses, i.e. bit 0 of the rank.
+  p.timed(simd::Phase::kCompute, [&] {
+    if (util::bit(rank, 0) == 0) {
+      localsort::radix_sort(keys, scratch);
+    } else {
+      localsort::radix_sort_descending(keys, scratch);
+    }
+  });
+  if (log_p == 0) return;
+
+  for (int k = 1; k <= log_p; ++k) {
+    // Remote steps lg n + k .. lg n + 1: compare-exchange with the
+    // partner differing in rank bit (step - 1 - lg n).
+    for (int bit = k - 1; bit >= 0; --bit) {
+      const std::uint64_t partner = rank ^ (std::uint64_t{1} << bit);
+      std::vector<std::uint32_t> payload;
+      p.timed(simd::Phase::kPack, [&] { payload.assign(keys.begin(), keys.end()); });
+      auto other = p.exchange_with(partner, std::move(payload));
+      p.timed(simd::Phase::kCompute, [&] {
+        // Element i here pairs with element i on the partner; both share
+        // all absolute-address bits except rank bit `bit`.  The node
+        // keeps the minimum iff its compare bit equals the stage's
+        // direction bit (rank bit k; 0 for the final stage since bit
+        // lg N of any address is 0).
+        const bool dir_bit = k < log_p ? util::bit(rank, k) != 0 : false;
+        const bool keep_min = (util::bit(rank, bit) != 0) == dir_bit;
+        if (keep_min) {
+          for (std::size_t i = 0; i < keys.size(); ++i) {
+            keys[i] = std::min(keys[i], other[i]);
+          }
+        } else {
+          for (std::size_t i = 0; i < keys.size(); ++i) {
+            keys[i] = std::max(keys[i], other[i]);
+          }
+        }
+      });
+    }
+    // Local lg n steps of the stage: the block is a bitonic sequence;
+    // [BLM+91] finishes the stage with another local radix sort in the
+    // stage's merge direction.
+    p.timed(simd::Phase::kCompute, [&] {
+      const bool ascending = k == log_p || util::bit(rank, k) == 0;
+      if (ascending) {
+        localsort::radix_sort(keys, scratch);
+      } else {
+        localsort::radix_sort_descending(keys, scratch);
+      }
+    });
+  }
+}
+
+}  // namespace bsort::bitonic

@@ -1,0 +1,54 @@
+#include <cassert>
+#include <vector>
+
+#include "bitonic/remap_exec.hpp"
+#include "bitonic/sorts.hpp"
+#include "localsort/bitonic_merge.hpp"
+#include "localsort/compare_exchange.hpp"
+#include "localsort/radix_sort.hpp"
+#include "util/bits.hpp"
+
+namespace bsort::bitonic {
+
+void cyclic_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
+  const auto rank = static_cast<std::uint64_t>(p.rank());
+  const int log_p = util::ilog2(static_cast<std::uint64_t>(p.nprocs()));
+  const int log_n = util::ilog2(keys.size());
+  assert(log_n >= log_p && "cyclic-blocked remapping requires N >= P^2");
+  std::vector<std::uint32_t> scratch;
+
+  // First lg n stages: one local sort in the block's merge direction.
+  p.timed(simd::Phase::kCompute, [&] {
+    if (util::bit(rank, 0) == 0) {
+      localsort::radix_sort(keys, scratch);
+    } else {
+      localsort::radix_sort_descending(keys, scratch);
+    }
+  });
+  if (log_p == 0) return;
+
+  const auto blocked = layout::BitLayout::blocked(log_n, log_p);
+  const auto cyclic = layout::BitLayout::cyclic(log_n, log_p);
+
+  for (int k = 1; k <= log_p; ++k) {
+    const int stage = log_n + k;
+    // Remap to cyclic; the stage's first k steps (steps lg n + k .. lg n
+    // + 1) compare absolute bits lg n + k - 1 .. lg n, local under the
+    // cyclic layout since lg n >= lg P.  They form the top of the
+    // stage's bitonic merge: a cascade of bitonic splits.
+    remap_data(p, blocked, cyclic, keys, scratch);
+    p.timed(simd::Phase::kCompute, [&] {
+      localsort::local_network_steps(cyclic, rank, keys, stage, stage, k);
+    });
+    // Remap back to blocked; the remaining lg n steps complete the merge
+    // of each block, which Lemma 7 shows is a bitonic sequence: finish
+    // with a bitonic merge sort in the stage's direction (rank bit k).
+    remap_data(p, cyclic, blocked, keys, scratch);
+    p.timed(simd::Phase::kCompute, [&] {
+      const bool ascending = util::bit(rank, k) == 0;
+      localsort::bitonic_merge_sort_inplace(keys, scratch, ascending);
+    });
+  }
+}
+
+}  // namespace bsort::bitonic

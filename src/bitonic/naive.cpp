@@ -1,0 +1,55 @@
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "bitonic/sorts.hpp"
+#include "localsort/compare_exchange.hpp"
+#include "util/bits.hpp"
+
+namespace bsort::bitonic {
+
+void naive_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
+  const auto rank = static_cast<std::uint64_t>(p.rank());
+  const int log_p = util::ilog2(static_cast<std::uint64_t>(p.nprocs()));
+  const int log_n = util::ilog2(keys.size());
+  const int log_N = log_n + log_p;
+  const auto blocked = layout::BitLayout::blocked(log_n, log_p);
+
+  for (int stage = 1; stage <= log_N; ++stage) {
+    for (int step = stage; step >= 1; --step) {
+      const int abs_bit = step - 1;
+      if (abs_bit < log_n) {
+        // Local compare-exchange step.
+        p.timed(simd::Phase::kCompute, [&] {
+          localsort::local_network_step(blocked, rank, keys, stage, step);
+        });
+        continue;
+      }
+      // Remote step: exchange the whole block with the partner differing
+      // in rank bit (abs_bit - lg n), keep the min or max half.
+      const int rank_bit = abs_bit - log_n;
+      const std::uint64_t partner = rank ^ (std::uint64_t{1} << rank_bit);
+      std::vector<std::uint32_t> payload;
+      p.timed(simd::Phase::kPack, [&] { payload.assign(keys.begin(), keys.end()); });
+      auto other = p.exchange_with(partner, std::move(payload));
+      p.timed(simd::Phase::kCompute, [&] {
+        // Direction bit of the stage is absolute bit `stage`; elements on
+        // this processor share it (it is >= lg n for the last lg P
+        // stages, and remote steps only occur there).
+        const bool keep_min = util::bit(rank, rank_bit) ==
+                              util::bit(blocked.abs_of(rank, 0), stage);
+        if (keep_min) {
+          for (std::size_t i = 0; i < keys.size(); ++i) {
+            keys[i] = std::min(keys[i], other[i]);
+          }
+        } else {
+          for (std::size_t i = 0; i < keys.size(); ++i) {
+            keys[i] = std::max(keys[i], other[i]);
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace bsort::bitonic

@@ -1,0 +1,79 @@
+#include "bitonic/remap_exec.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bsort::bitonic {
+
+void remap_data_into(simd::Proc& p, const layout::BitLayout& from,
+                     const layout::BitLayout& to, std::span<const std::uint32_t> in,
+                     std::span<std::uint32_t> out) {
+  assert(in.size() == out.size());
+  assert(in.data() != out.data());
+  const auto rank = static_cast<std::uint64_t>(p.rank());
+  layout::MaskPlan plan;
+  std::vector<std::uint64_t> send_peers;
+  std::vector<std::uint64_t> recv_peers;
+  std::vector<std::vector<std::uint32_t>> payloads;
+  bool has_self = false;
+  std::size_t self_send = 0;
+
+  // Pack: mask-plan construction plus one gather per key.
+  p.timed(simd::Phase::kPack, [&] {
+    plan = layout::build_mask_plan(from, to);
+    const std::size_t G = plan.group_size();
+    const std::size_t M = plan.message_size();
+    send_peers.resize(G);
+    recv_peers.resize(G);
+    payloads.resize(G);
+    for (std::size_t o = 0; o < G; ++o) {
+      send_peers[o] = layout::mask_plan_dest(from, to, plan, rank, o);
+      recv_peers[o] = layout::mask_plan_src(from, to, plan, rank, o);
+      if (send_peers[o] == rank) {
+        // Kept portion: scattered directly during unpack.
+        has_self = true;
+        self_send = o;
+        continue;
+      }
+      auto& msg = payloads[o];
+      msg.resize(M);
+      const std::uint32_t pat = plan.dest_pattern[o];
+      for (std::size_t j = 0; j < M; ++j) msg[j] = in[plan.kept_order[j] | pat];
+    }
+  });
+
+  auto received = p.exchange(send_peers, std::move(payloads), recv_peers);
+
+  p.timed(simd::Phase::kUnpack, [&] {
+    const std::size_t M = plan.message_size();
+    for (std::size_t o = 0; o < plan.group_size(); ++o) {
+      const std::uint32_t spat = plan.src_pattern[o];
+      if (recv_peers[o] == rank) {
+        // Self portion: sender order and receiver order are both
+        // ascending destination local address, so index j matches.
+        assert(has_self);
+        const std::uint32_t dpat = plan.dest_pattern[self_send];
+        for (std::size_t j = 0; j < M; ++j) {
+          out[plan.recv_order[j] | spat] = in[plan.kept_order[j] | dpat];
+        }
+      } else {
+        const auto& msg = received[o];
+        assert(msg.size() == M);
+        for (std::size_t j = 0; j < M; ++j) {
+          out[plan.recv_order[j] | spat] = msg[j];
+        }
+      }
+    }
+  });
+  (void)has_self;
+}
+
+void remap_data(simd::Proc& p, const layout::BitLayout& from, const layout::BitLayout& to,
+                std::span<std::uint32_t> keys, std::vector<std::uint32_t>& scratch) {
+  scratch.resize(keys.size());
+  remap_data_into(p, from, to, keys, std::span<std::uint32_t>(scratch.data(), scratch.size()));
+  p.timed(simd::Phase::kUnpack,
+          [&] { std::copy(scratch.begin(), scratch.end(), keys.begin()); });
+}
+
+}  // namespace bsort::bitonic

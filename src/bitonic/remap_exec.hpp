@@ -1,0 +1,31 @@
+// Execution of a data remap (layout change) on the simulated machine
+// using the mask-based pack/unpack of Section 3.3: build the (rank-
+// independent) mask plan, gather per-peer messages with one table lookup
+// per key, transfer, scatter on arrival.  Pack and unpack are charged to
+// their own phases so the breakdown experiments (Table 5.4 / Figure 5.6)
+// can report them separately.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "layout/bit_layout.hpp"
+#include "layout/remap.hpp"
+#include "simd/machine.hpp"
+
+namespace bsort::bitonic {
+
+/// Remap this rank's local portion from layout `from` (read from `in`)
+/// to layout `to` (scattered into `out`).  `in` and `out` must not alias:
+/// the double-buffered form avoids the copy-back a strictly in-place
+/// remap would need.
+void remap_data_into(simd::Proc& p, const layout::BitLayout& from,
+                     const layout::BitLayout& to, std::span<const std::uint32_t> in,
+                     std::span<std::uint32_t> out);
+
+/// In-place convenience wrapper: remap `keys` via `scratch`.
+void remap_data(simd::Proc& p, const layout::BitLayout& from, const layout::BitLayout& to,
+                std::span<std::uint32_t> keys, std::vector<std::uint32_t>& scratch);
+
+}  // namespace bsort::bitonic

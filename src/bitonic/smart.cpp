@@ -1,0 +1,265 @@
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <vector>
+
+#include "bitonic/remap_exec.hpp"
+#include "bitonic/sorts.hpp"
+#include "localsort/bitonic_merge.hpp"
+#include "localsort/compare_exchange.hpp"
+#include "localsort/pway_merge.hpp"
+#include "localsort/radix_sort.hpp"
+#include "util/bits.hpp"
+
+namespace bsort::bitonic {
+
+namespace {
+
+using layout::BitLayout;
+using layout::SmartKind;
+using layout::SmartParams;
+
+/// Merge direction of the stage-`stage` merge containing this rank's
+/// keys: ascending iff absolute bit `stage` is 0.  That bit is a
+/// processor bit in every case where this is called (or beyond lg N for
+/// the final stage, where every merge is ascending).
+bool window_ascending(const BitLayout& lay, std::uint64_t rank, int stage) {
+  if (stage >= lay.log_total()) return true;
+  assert(!lay.is_local_bit(stage));
+  return util::bit(lay.abs_of(rank, 0), stage) == 0;
+}
+
+/// Fused unpack+merge (Section 4.3) for an inside window whose sources
+/// each hold a fully value-sorted local array.  Keys are packed in
+/// SOURCE-local order, so every incoming message is a monotonic run (a
+/// subsequence of a sorted array); the receiver merges the runs by value
+/// straight into its output buffer, skipping both the scatter-unpack and
+/// the separate bitonic merge sort.  `src_ascending(s)` tells the run
+/// direction of source s.
+template <class SrcAsc>
+void fused_inside_window(simd::Proc& p, std::span<const std::uint32_t> in,
+                         std::span<std::uint32_t> out, const BitLayout& from,
+                         const BitLayout& to, int stage, SrcAsc&& src_ascending) {
+  const auto rank = static_cast<std::uint64_t>(p.rank());
+  const std::uint64_t n = in.size();
+
+  layout::MaskPlan plan;
+  std::vector<std::uint64_t> send_peers;
+  std::vector<std::uint64_t> recv_peers;
+  std::vector<std::vector<std::uint32_t>> payloads;
+  // A rank need not appear among its own peers: some remaps along a
+  // schedule are asymmetric (a rank's send group and receive group are
+  // different processor sets) and a rank may keep nothing.
+  bool has_self = false;
+  std::size_t self_send = 0;
+  p.timed(simd::Phase::kPack, [&] {
+    plan = layout::build_mask_plan(from, to);
+    const std::size_t G = plan.group_size();
+    const std::size_t M = plan.message_size();
+    send_peers.resize(G);
+    recv_peers.resize(G);
+    payloads.resize(G);
+    for (std::size_t o = 0; o < G; ++o) {
+      send_peers[o] = layout::mask_plan_dest(from, to, plan, rank, o);
+      recv_peers[o] = layout::mask_plan_src(from, to, plan, rank, o);
+      if (send_peers[o] == rank) {
+        has_self = true;
+        self_send = o;
+      }
+      // Source-order packing: each message is a subsequence of this
+      // rank's value-sorted array, hence a monotonic run.
+      auto& msg = payloads[o];
+      msg.resize(M);
+      const std::uint32_t pat = plan.dest_pattern[o];
+      for (std::size_t j = 0; j < M; ++j) {
+        msg[j] = in[plan.kept_order_source[j] | pat];
+      }
+    }
+  });
+
+  // Preserve the self payload (exchange() drops it).
+  std::vector<std::uint32_t> self_payload;
+  if (has_self) self_payload = std::move(payloads[self_send]);
+
+  auto received = p.exchange(send_peers, std::move(payloads), recv_peers);
+  for (std::size_t j = 0; j < recv_peers.size(); ++j) {
+    if (recv_peers[j] == rank) received[j] = std::move(self_payload);
+  }
+
+  p.timed(simd::Phase::kUnpack, [&] {
+    std::vector<localsort::Run> runs;
+    runs.reserve(received.size());
+    for (std::size_t j = 0; j < received.size(); ++j) {
+      runs.push_back({std::span<const std::uint32_t>(received[j].data(),
+                                                     received[j].size()),
+                      src_ascending(recv_peers[j])});
+    }
+    localsort::pway_merge(runs, out);
+    // Theorem 2: the window output is the value-sorted array in local
+    // address order (reversed for a descending merge).
+    if (!window_ascending(to, rank, stage)) {
+      std::reverse(out.begin(), out.end());
+    }
+  });
+  (void)n;
+}
+
+}  // namespace
+
+void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions& options) {
+  const auto rank = static_cast<std::uint64_t>(p.rank());
+  const int log_p = util::ilog2(static_cast<std::uint64_t>(p.nprocs()));
+  const int log_n = util::ilog2(keys.size());
+  assert(log_n >= 1 && "smart sort needs at least 2 keys per processor");
+  const std::uint64_t n = keys.size();
+  std::vector<std::uint32_t> scratch;
+
+  // First lg n stages: one local sort (Section 4.1); direction is bit 0
+  // of the rank (= absolute bit lg n under the blocked layout).
+  p.timed(simd::Phase::kCompute, [&] {
+    if (util::bit(rank, 0) == 0) {
+      localsort::radix_sort(keys, scratch);
+    } else {
+      localsort::radix_sort_descending(keys, scratch);
+    }
+  });
+  if (log_p == 0) return;
+
+  const auto sched =
+      schedule::make_smart_schedule(log_n, log_p, options.strategy, options.first_chunk);
+  BitLayout cur = BitLayout::blocked(log_n, log_p);
+  int stage = log_n + 1;
+  int step = log_n + 1;
+
+  // Double buffering: the remap scatters from one buffer into the other,
+  // and each local phase merges back out-of-place — no copy-backs.
+  std::vector<std::uint32_t> alt(n);
+  std::span<std::uint32_t> a = keys;                           // current data
+  std::span<std::uint32_t> b(alt.data(), n);                   // free buffer
+  const auto swap_buffers = [&] { std::swap(a, b); };
+
+  // Whether each processor's local array is one value-sorted run (true
+  // after the initial sort and after every inside window), and the
+  // per-source run direction.
+  bool fully_sorted = true;
+  std::function<bool(std::uint64_t)> src_dir = [](std::uint64_t s) {
+    return util::bit(s, 0) == 0;
+  };
+  const auto update_src_dir = [&](const BitLayout& lay, int st) {
+    src_dir = [lay, st](std::uint64_t s) {
+      if (st >= lay.log_total()) return true;
+      return util::bit(lay.abs_of(s, 0), st) == 0;
+    };
+  };
+
+  for (const auto& phase : sched.remaps) {
+    const auto& sp = phase.params;
+    const bool full_window = phase.steps == log_n || sp.kind == SmartKind::kLast;
+    const bool optimized = options.compute != SmartCompute::kCompareExchange && full_window;
+
+    if (options.compute == SmartCompute::kFused && full_window &&
+        sp.kind == SmartKind::kInside && fully_sorted) {
+      // Remap + unpack + merge in one fused pass: a -> b.
+      fused_inside_window(p, a, b, cur, phase.layout, log_n + sp.k, src_dir);
+      swap_buffers();
+      cur = phase.layout;
+      fully_sorted = true;
+      update_src_dir(cur, log_n + sp.k);
+    } else if (optimized && sp.kind == SmartKind::kInside) {
+      // Theorem 2: the window's lg n steps are a complete bitonic merge
+      // of the (bitonic) local array in the direction of stage lg n + k.
+      remap_data_into(p, cur, phase.layout, a, b);
+      p.timed(simd::Phase::kCompute, [&] {
+        const bool asc = window_ascending(phase.layout, rank, log_n + sp.k);
+        if (asc) {
+          localsort::bitonic_merge_sort(b, a);
+        } else {
+          localsort::bitonic_merge_sort_descending(b, a);
+        }
+      });
+      cur = phase.layout;
+      fully_sorted = true;
+      update_src_dir(cur, log_n + sp.k);
+    } else if (optimized && sp.kind == SmartKind::kLast) {
+      // Final window: the remaining s steps complete the merge of each
+      // 2^s block of the final (all-ascending) stage.
+      remap_data_into(p, cur, phase.layout, a, b);
+      p.timed(simd::Phase::kCompute, [&] {
+        const std::uint64_t chunk = std::uint64_t{1} << sp.s;
+        if (chunk <= 4) {
+          // Tiny blocks: per-call merge overhead would dominate; run the
+          // s compare-exchange steps directly (b -> a).
+          std::copy(b.begin(), b.end(), a.begin());
+          localsort::local_network_steps(phase.layout, rank, a, log_n + log_p, sp.s,
+                                         sp.s);
+        } else {
+          for (std::uint64_t base = 0; base < n; base += chunk) {
+            localsort::bitonic_merge_sort(b.subspan(base, chunk),
+                                          a.subspan(base, chunk));
+          }
+        }
+      });
+      cur = phase.layout;
+      fully_sorted = true;
+    } else if (optimized && sp.kind == SmartKind::kCrossing) {
+      // Theorem 3.  Phase 1: 2^b bitonic chunks of length 2^a finish
+      // stage lg n + k; chunk j's direction is absolute bit lg n + k, the
+      // top bit of the B field, so the first half of chunks is
+      // ascending.  Phase 2: the first b steps of stage lg n + k + 1 are
+      // a complete merge of each phase-2 chunk, which lives at stride
+      // 2^a in the phase-1 arrangement — merged directly from there,
+      // eliminating the intermediate shuffle.
+      remap_data_into(p, cur, phase.layout, a, b);
+      p.timed(simd::Phase::kCompute, [&] {
+        const std::uint64_t chunk1 = std::uint64_t{1} << sp.a;
+        const std::uint64_t half = std::uint64_t{1} << (sp.b - 1);
+        for (std::uint64_t base = 0, j = 0; base < n; base += chunk1, ++j) {
+          if ((j & half) == 0) {
+            localsort::bitonic_merge_sort(b.subspan(base, chunk1),
+                                          a.subspan(base, chunk1));
+          } else {
+            localsort::bitonic_merge_sort_descending(b.subspan(base, chunk1),
+                                                     a.subspan(base, chunk1));
+          }
+        }
+      });
+      const auto lay2 = BitLayout::smart_phase2(log_n, log_p, sp);
+      p.timed(simd::Phase::kCompute, [&] {
+        const bool asc = window_ascending(lay2, rank, log_n + sp.k + 1);
+        const std::uint64_t chunk2 = std::uint64_t{1} << sp.b;
+        const std::uint64_t stride = std::uint64_t{1} << sp.a;
+        for (std::uint64_t c = 0; c < stride; ++c) {
+          localsort::bitonic_merge_sort_strided(a.data(), c, stride, chunk2,
+                                                b.data() + c * chunk2, asc);
+        }
+      });
+      swap_buffers();  // phase-2 output landed in what was the free buffer
+      cur = lay2;
+      fully_sorted = false;
+    } else {
+      // Generic path (partial windows or kCompareExchange): remap, then
+      // simulate the steps one by one under the phase-1 layout.
+      remap_data_into(p, cur, phase.layout, a, b);
+      swap_buffers();
+      const int st = stage, spp = step;
+      p.timed(simd::Phase::kCompute, [&] {
+        localsort::local_network_steps(phase.layout, rank, a, st, spp, phase.steps);
+      });
+      cur = phase.layout;
+      fully_sorted = false;
+    }
+
+    step -= phase.steps;
+    while (step <= 0) {
+      ++stage;
+      step += stage;
+    }
+  }
+
+  if (a.data() != keys.data()) {
+    p.timed(simd::Phase::kCompute,
+            [&] { std::copy(a.begin(), a.end(), keys.begin()); });
+  }
+}
+
+}  // namespace bsort::bitonic

@@ -1,0 +1,52 @@
+// Parallel FFT on the remap machinery — the Chapter 7 "future work"
+// application: "the same techniques can be applied to the FFT which is
+// based on a butterfly network (i.e. a stage of the bitonic sorting
+// network)".
+//
+// The iterative radix-2 DIT FFT performs lg N butterfly steps; step s
+// combines elements whose (bit-reversed-order) indices differ in bit
+// s-1 — exactly the communication structure of one bitonic stage.  With
+// a blocked layout the first lg n steps are local; one remap to a cyclic
+// layout (expressible as a BitLayout, like every layout here) makes the
+// remaining lg P steps local, and one remap back restores the blocked
+// order — the [CKP+93] FFT data-layout optimization.  The initial
+// bit-reversal permutation is itself a bit-permutation layout, so the
+// same mask-plan exchange performs it.
+//
+// Requires N >= P^2 (both the cyclic window and the thesis' remap
+// admissibility argument) and n = N/P a power of two.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simd/machine.hpp"
+
+namespace bsort::fft {
+
+using Complex = std::complex<double>;
+
+/// Reference sequential FFT (iterative radix-2 DIT, in place, data.size()
+/// a power of two).  inverse=true computes the unscaled inverse
+/// transform; divide by N afterwards to invert exactly.
+void reference_fft(std::span<Complex> data, bool inverse = false);
+
+/// O(N^2) direct DFT, the ground truth for small sizes.
+std::vector<Complex> naive_dft(std::span<const Complex> in, bool inverse = false);
+
+/// Parallel FFT: every processor holds its blocked slice of the
+/// natural-order input and, on return, its blocked slice of the
+/// natural-order spectrum.  Three communication phases: bit-reversal
+/// remap, blocked->cyclic remap after the first lg n butterfly stages,
+/// cyclic->blocked remap at the end.  Requires N >= P^2.
+void parallel_fft(simd::Proc& p, std::span<Complex> local, bool inverse = false);
+
+/// Naive parallel FFT baseline: fixed blocked layout, each of the last
+/// lg P stages exchanges the full local slice with the partner processor
+/// (the butterfly analogue of the Blocked-Merge bitonic sort).
+void parallel_fft_blocked(simd::Proc& p, std::span<Complex> local,
+                          bool inverse = false);
+
+}  // namespace bsort::fft

@@ -1,0 +1,189 @@
+#include "layout/bit_layout.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+#include "util/bits.hpp"
+
+namespace bsort::layout {
+
+namespace {
+
+std::uint64_t gather_bits(std::uint64_t abs, const std::vector<int>& src) {
+  std::uint64_t out = 0;
+  for (std::size_t pos = 0; pos < src.size(); ++pos) {
+    out |= util::bit(abs, src[pos]) << pos;
+  }
+  return out;
+}
+
+}  // namespace
+
+BitLayout::BitLayout(std::vector<int> local_src, std::vector<int> proc_src)
+    : local_src_(std::move(local_src)), proc_src_(std::move(proc_src)) {
+  const int total = log_total();
+  local_pos_.assign(static_cast<std::size_t>(total), -1);
+  std::uint64_t seen = 0;
+  for (std::size_t pos = 0; pos < local_src_.size(); ++pos) {
+    const int b = local_src_[pos];
+    assert(b >= 0 && b < total);
+    assert(util::bit(seen, b) == 0 && "duplicate bit in layout");
+    seen |= std::uint64_t{1} << b;
+    local_bit_mask_ |= std::uint64_t{1} << b;
+    local_pos_[static_cast<std::size_t>(b)] = static_cast<int>(pos);
+  }
+  for (int b : proc_src_) {
+    assert(b >= 0 && b < total);
+    assert(util::bit(seen, b) == 0 && "duplicate bit in layout");
+    seen |= std::uint64_t{1} << b;
+  }
+  assert(seen == util::low_mask(total) && "layout must cover all bits");
+}
+
+std::uint64_t BitLayout::proc_of(std::uint64_t abs) const { return gather_bits(abs, proc_src_); }
+
+std::uint64_t BitLayout::local_of(std::uint64_t abs) const {
+  return gather_bits(abs, local_src_);
+}
+
+std::uint64_t BitLayout::abs_of(std::uint64_t proc, std::uint64_t local) const {
+  std::uint64_t abs = 0;
+  for (std::size_t pos = 0; pos < local_src_.size(); ++pos) {
+    abs |= util::bit(local, static_cast<int>(pos)) << local_src_[pos];
+  }
+  for (std::size_t pos = 0; pos < proc_src_.size(); ++pos) {
+    abs |= util::bit(proc, static_cast<int>(pos)) << proc_src_[pos];
+  }
+  return abs;
+}
+
+bool BitLayout::is_local_bit(int abs_bit) const {
+  return util::bit(local_bit_mask_, abs_bit) != 0;
+}
+
+int BitLayout::local_pos_of(int abs_bit) const {
+  return local_pos_[static_cast<std::size_t>(abs_bit)];
+}
+
+std::string BitLayout::to_string() const {
+  // Print the absolute-address bit pattern high bit first, marking
+  // processor bits P<j> and local bits L<i>, mirroring Figure 3.4.
+  std::ostringstream os;
+  const int total = log_total();
+  for (int b = total - 1; b >= 0; --b) {
+    if (b != total - 1) os << ' ';
+    const int lp = local_pos_[static_cast<std::size_t>(b)];
+    if (lp >= 0) {
+      os << 'L' << lp;
+    } else {
+      for (std::size_t pos = 0; pos < proc_src_.size(); ++pos) {
+        if (proc_src_[pos] == b) {
+          os << 'P' << pos;
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+BitLayout BitLayout::blocked(int log_n, int log_p) {
+  std::vector<int> local(static_cast<std::size_t>(log_n));
+  std::vector<int> proc(static_cast<std::size_t>(log_p));
+  std::iota(local.begin(), local.end(), 0);
+  std::iota(proc.begin(), proc.end(), log_n);
+  return BitLayout(std::move(local), std::move(proc));
+}
+
+BitLayout BitLayout::cyclic(int log_n, int log_p) {
+  std::vector<int> local(static_cast<std::size_t>(log_n));
+  std::vector<int> proc(static_cast<std::size_t>(log_p));
+  std::iota(proc.begin(), proc.end(), 0);
+  std::iota(local.begin(), local.end(), log_p);
+  return BitLayout(std::move(local), std::move(proc));
+}
+
+SmartParams smart_params(int log_n, int log_p, int k, int s) {
+  assert(k >= 1 && k <= log_p);
+  assert(s >= 1 && s <= log_n + k);
+  SmartParams sp{};
+  sp.k = k;
+  sp.s = s;
+  if (k == log_p && s <= log_n) {
+    // Last remap: back to a blocked layout (Definition 7 special case).
+    sp.a = log_n;
+    sp.b = 0;
+    sp.t = log_n;
+    sp.kind = SmartKind::kLast;
+  } else if (s >= log_n) {
+    sp.a = 0;
+    sp.b = log_n;
+    sp.t = s - log_n;
+    sp.kind = SmartKind::kInside;
+  } else {
+    sp.a = s;
+    sp.b = log_n - s;
+    sp.t = s + k + 1;
+    sp.kind = SmartKind::kCrossing;
+  }
+  return sp;
+}
+
+BitLayout BitLayout::smart(int log_n, int log_p, const SmartParams& sp) {
+  const int total = log_n + log_p;
+  std::vector<int> local;
+  std::vector<int> proc;
+  local.reserve(static_cast<std::size_t>(log_n));
+  proc.reserve(static_cast<std::size_t>(log_p));
+  switch (sp.kind) {
+    case SmartKind::kLast:
+      return blocked(log_n, log_p);
+    case SmartKind::kInside: {
+      // Local bits: absolute bits [t, t + lg n).  Processor bits: the low
+      // field C = [0, t) then the high field A = [t + lg n, lg N)
+      // (Figure 3.7; A is packed above C so Lemma 4's groups are
+      // consecutive processor numbers).
+      for (int i = 0; i < log_n; ++i) local.push_back(sp.t + i);
+      for (int i = 0; i < sp.t; ++i) proc.push_back(i);
+      for (int i = sp.t + log_n; i < total; ++i) proc.push_back(i);
+      break;
+    }
+    case SmartKind::kCrossing: {
+      // Local bits: the a-bit tail of the current stage [0, a) in the low
+      // positions, then the b-bit head of the next stage [t, t + b)
+      // (phase-1 ordering of Theorem 3).  Processor bits: [a, t) low,
+      // [t + b, lg N) high (Figure 3.8).
+      for (int i = 0; i < sp.a; ++i) local.push_back(i);
+      for (int i = 0; i < sp.b; ++i) local.push_back(sp.t + i);
+      for (int i = sp.a; i < sp.t; ++i) proc.push_back(i);
+      for (int i = sp.t + sp.b; i < total; ++i) proc.push_back(i);
+      break;
+    }
+  }
+  return BitLayout(std::move(local), std::move(proc));
+}
+
+BitLayout BitLayout::smart_phase2(int log_n, int log_p, const SmartParams& sp) {
+  assert(sp.kind == SmartKind::kCrossing);
+  const int total = log_n + log_p;
+  std::vector<int> local;
+  std::vector<int> proc;
+  // Theorem 3: "interchange the first b bits of the local address with
+  // the last a bits" - the b-bit field moves to the low positions.
+  for (int i = 0; i < sp.b; ++i) local.push_back(sp.t + i);
+  for (int i = 0; i < sp.a; ++i) local.push_back(i);
+  for (int i = sp.a; i < sp.t; ++i) proc.push_back(i);
+  for (int i = sp.t + sp.b; i < total; ++i) proc.push_back(i);
+  return BitLayout(std::move(local), std::move(proc));
+}
+
+int bits_changed(const BitLayout& from, const BitLayout& to) {
+  int changed = 0;
+  for (int b : to.proc_src()) {
+    if (from.is_local_bit(b)) ++changed;
+  }
+  return changed;
+}
+
+}  // namespace bsort::layout

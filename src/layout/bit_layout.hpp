@@ -1,0 +1,106 @@
+// Data layouts as bit permutations of the absolute address.
+//
+// Every layout in the thesis — blocked (Definition 4), cyclic
+// (Definition 5), and every smart layout (Definition 7) — assigns a key
+// with absolute address A (lg N bits) to a processor and a local address
+// by *routing bits of A*: some bits of A form the processor number, the
+// remaining lg n bits form the local address.  A BitLayout records, for
+// each local-address bit position and each processor-number bit position,
+// which absolute-address bit it carries.  Remaps, pack/unpack masks,
+// N_BitsChanged (Lemma 3), and the group structure of Lemma 4 all become
+// pure bit arithmetic on two BitLayouts.
+//
+// Note on Definition 5: the thesis says a cyclic layout assigns key i to
+// the "(i mod n)-th processor"; that is a typo for the standard cyclic
+// layout (processor i mod P), which is what the surrounding text,
+// Figure 2.6, and the remap math describe, and what we implement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsort::layout {
+
+/// Kind of smart remap (Section 3.2): an *inside* remap's lg n local
+/// steps stay within one stage; a *crossing* remap's window spans a stage
+/// boundary.  The final remap back to a blocked layout is special-cased
+/// by Definition 7.
+enum class SmartKind { kInside, kCrossing, kLast };
+
+/// The 5-tuple of Definition 7 plus the remap kind.
+struct SmartParams {
+  int k;  ///< stage = lg n + k, 1 <= k <= lg P
+  int s;  ///< step within the stage at which the remap occurs
+  int a;  ///< low local bits taken from the current stage's window
+  int b;  ///< high local bits (lg n = a + b)
+  int t;  ///< absolute-bit offset of the high local field
+  SmartKind kind;
+};
+
+class BitLayout {
+ public:
+  /// local_src[i] = absolute-address bit carried by local-address bit i;
+  /// proc_src[j]  = absolute-address bit carried by processor bit j.
+  /// Together they must form a permutation of 0..lgN-1.
+  BitLayout(std::vector<int> local_src, std::vector<int> proc_src);
+
+  [[nodiscard]] int log_local() const { return static_cast<int>(local_src_.size()); }
+  [[nodiscard]] int log_procs() const { return static_cast<int>(proc_src_.size()); }
+  [[nodiscard]] int log_total() const { return log_local() + log_procs(); }
+  [[nodiscard]] std::uint64_t local_size() const { return std::uint64_t{1} << log_local(); }
+  [[nodiscard]] std::uint64_t proc_count() const { return std::uint64_t{1} << log_procs(); }
+
+  [[nodiscard]] const std::vector<int>& local_src() const { return local_src_; }
+  [[nodiscard]] const std::vector<int>& proc_src() const { return proc_src_; }
+
+  /// Processor that holds absolute address `abs`.
+  [[nodiscard]] std::uint64_t proc_of(std::uint64_t abs) const;
+  /// Local address of `abs` on its processor.
+  [[nodiscard]] std::uint64_t local_of(std::uint64_t abs) const;
+  /// Inverse: absolute address of (proc, local).
+  [[nodiscard]] std::uint64_t abs_of(std::uint64_t proc, std::uint64_t local) const;
+
+  /// True iff absolute-address bit `abs_bit` is a local bit under this
+  /// layout (a network step on that bit runs without communication).
+  [[nodiscard]] bool is_local_bit(int abs_bit) const;
+  /// Local bit position carrying absolute bit `abs_bit` (-1 if not local).
+  [[nodiscard]] int local_pos_of(int abs_bit) const;
+
+  /// Human-readable bit pattern (for diagnostics / golden tests).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const BitLayout&, const BitLayout&) = default;
+
+  // ---- Factories ----------------------------------------------------
+
+  /// Blocked layout: local = low lg n bits, proc = high lg P bits.
+  static BitLayout blocked(int log_n, int log_p);
+  /// Cyclic layout: proc = low lg P bits, local = high lg n bits.
+  static BitLayout cyclic(int log_n, int log_p);
+  /// Smart layout for the remap described by `sp` (Definition 7,
+  /// Figures 3.7/3.8).  For crossing remaps this is the *phase-1* local
+  /// ordering (a-bit field low); see smart_phase2 for the mid-window
+  /// local reshuffle of Theorem 3.
+  static BitLayout smart(int log_n, int log_p, const SmartParams& sp);
+  /// Phase-2 local ordering of a crossing remap: the b-bit field moves to
+  /// the low local positions (Theorem 3).  Same processor assignment as
+  /// smart(); only local bits are permuted.
+  static BitLayout smart_phase2(int log_n, int log_p, const SmartParams& sp);
+
+ private:
+  std::vector<int> local_src_;
+  std::vector<int> proc_src_;
+  std::uint64_t local_bit_mask_ = 0;  ///< abs bits that are local
+  std::vector<int> local_pos_;        ///< abs bit -> local position or -1
+};
+
+/// Compute the Definition 7 parameters (a, b, t, kind) for a remap at
+/// (stage lg n + k, step s).
+SmartParams smart_params(int log_n, int log_p, int k, int s);
+
+/// N_BitsChanged of Lemma 3: number of absolute-address bits that are
+/// local under `from` but processor bits under `to`.
+int bits_changed(const BitLayout& from, const BitLayout& to);
+
+}  // namespace bsort::layout

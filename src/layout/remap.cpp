@@ -1,0 +1,194 @@
+#include "layout/remap.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace bsort::layout {
+
+Masks remap_masks(const BitLayout& from, const BitLayout& to) {
+  Masks m{0, 0};
+  for (std::size_t pos = 0; pos < from.local_src().size(); ++pos) {
+    const int abs_bit = from.local_src()[pos];
+    if (!to.is_local_bit(abs_bit)) m.pack_shaded |= std::uint64_t{1} << pos;
+  }
+  for (std::size_t pos = 0; pos < to.local_src().size(); ++pos) {
+    const int abs_bit = to.local_src()[pos];
+    if (!from.is_local_bit(abs_bit)) m.unpack_shaded |= std::uint64_t{1} << pos;
+  }
+  return m;
+}
+
+RemapStats analyze_remap(const BitLayout& from, const BitLayout& to) {
+  assert(from.log_total() == to.log_total());
+  assert(from.log_local() == to.log_local());
+  const int r = bits_changed(from, to);
+  const std::uint64_t n = from.local_size();
+  RemapStats st{};
+  st.bits_changed = r;
+  st.group_size = std::uint64_t{1} << r;
+  st.keep_count = n >> r;
+  st.send_per_peer = n >> r;
+  return st;
+}
+
+ExchangePlan build_exchange_plan(const BitLayout& from, const BitLayout& to,
+                                 std::uint64_t rank) {
+  assert(from.log_total() == to.log_total());
+  assert(from.log_local() == to.log_local());
+  const std::uint64_t n = from.local_size();
+  const std::uint64_t P = from.proc_count();
+
+  ExchangePlan plan;
+
+  // Send side: destination of every local element; collect the peer set,
+  // bucket by destination, and order each bucket by destination local
+  // address (the receiver-side convention).
+  std::vector<std::int32_t> peer_slot(P, -1);
+  {
+    std::vector<std::uint64_t> dest_proc(n);
+    std::vector<std::uint32_t> dest_local(n);
+    for (std::uint64_t local = 0; local < n; ++local) {
+      const std::uint64_t abs = from.abs_of(rank, local);
+      const std::uint64_t d = to.proc_of(abs);
+      dest_proc[local] = d;
+      dest_local[local] = static_cast<std::uint32_t>(to.local_of(abs));
+      if (peer_slot[d] < 0) {
+        peer_slot[d] = 0;
+        plan.send_peers.push_back(d);
+      }
+    }
+    std::sort(plan.send_peers.begin(), plan.send_peers.end());
+    for (std::size_t i = 0; i < plan.send_peers.size(); ++i) {
+      peer_slot[plan.send_peers[i]] = static_cast<std::int32_t>(i);
+    }
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> buckets(
+        plan.send_peers.size());
+    const std::uint64_t per_peer = n / plan.send_peers.size();
+    for (auto& b : buckets) b.reserve(per_peer);
+    for (std::uint64_t local = 0; local < n; ++local) {
+      buckets[static_cast<std::size_t>(peer_slot[dest_proc[local]])].emplace_back(
+          dest_local[local], static_cast<std::uint32_t>(local));
+    }
+    plan.send_local.resize(plan.send_peers.size());
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      auto& b = buckets[i];
+      std::sort(b.begin(), b.end());
+      plan.send_local[i].reserve(b.size());
+      for (const auto& [dl, sl] : b) plan.send_local[i].push_back(sl);
+    }
+  }
+
+  // Receive side: enumerate own `to`-local addresses in ascending order;
+  // this matches the sender-side sort above.
+  {
+    std::fill(peer_slot.begin(), peer_slot.end(), -1);
+    std::vector<std::uint64_t> src_proc(n);
+    for (std::uint64_t local = 0; local < n; ++local) {
+      const std::uint64_t abs = to.abs_of(rank, local);
+      const std::uint64_t s = from.proc_of(abs);
+      src_proc[local] = s;
+      if (peer_slot[s] < 0) {
+        peer_slot[s] = 0;
+        plan.recv_peers.push_back(s);
+      }
+    }
+    std::sort(plan.recv_peers.begin(), plan.recv_peers.end());
+    for (std::size_t i = 0; i < plan.recv_peers.size(); ++i) {
+      peer_slot[plan.recv_peers[i]] = static_cast<std::int32_t>(i);
+    }
+    plan.recv_local.resize(plan.recv_peers.size());
+    const std::uint64_t per_peer = n / plan.recv_peers.size();
+    for (auto& rv : plan.recv_local) rv.reserve(per_peer);
+    for (std::uint64_t local = 0; local < n; ++local) {
+      plan.recv_local[static_cast<std::size_t>(peer_slot[src_proc[local]])].push_back(
+          static_cast<std::uint32_t>(local));
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+/// Scatter the bits of every j in [0, 2^positions.size()) onto the given
+/// bit positions (bit i of j lands at positions[i]).  Built bottom-up by
+/// doubling — each entry costs O(1) instead of O(|positions|), which
+/// matters because these tables are rebuilt at every remap.
+std::vector<std::uint32_t> scatter_table(const std::vector<int>& positions) {
+  std::vector<std::uint32_t> table(std::size_t{1} << positions.size());
+  table[0] = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const std::uint32_t bit = std::uint32_t{1} << positions[i];
+    const std::size_t half = std::size_t{1} << i;
+    for (std::size_t j = 0; j < half; ++j) table[half + j] = table[j] | bit;
+  }
+  return table;
+}
+
+}  // namespace
+
+MaskPlan build_mask_plan(const BitLayout& from, const BitLayout& to) {
+  assert(from.log_total() == to.log_total());
+  assert(from.log_local() == to.log_local());
+  const auto masks = remap_masks(from, to);
+  const int log_n = from.log_local();
+
+  MaskPlan plan;
+  plan.bits_changed = bits_changed(from, to);
+
+  // Kept from-local positions, sorted by their destination-local
+  // position so every message is ordered by ascending destination local
+  // address.
+  std::vector<std::pair<int, int>> kept;  // (to-local position, from-local position)
+  std::vector<int> shaded_from;
+  for (int p = 0; p < log_n; ++p) {
+    if ((masks.pack_shaded >> p) & 1u) {
+      shaded_from.push_back(p);
+    } else {
+      const int abs_bit = from.local_src()[static_cast<std::size_t>(p)];
+      kept.emplace_back(to.local_pos_of(abs_bit), p);
+    }
+  }
+  {
+    // Source-order variant first (kept is currently ascending by p).
+    std::vector<int> src_positions;
+    src_positions.reserve(kept.size());
+    for (const auto& [q, p] : kept) src_positions.push_back(p);
+    plan.kept_order_source = scatter_table(src_positions);
+  }
+  std::sort(kept.begin(), kept.end());
+  std::vector<int> kept_from_positions;
+  kept_from_positions.reserve(kept.size());
+  for (const auto& [q, p] : kept) kept_from_positions.push_back(p);
+  plan.kept_order = scatter_table(kept_from_positions);
+  plan.dest_pattern = scatter_table(shaded_from);
+
+  // Receiver mirror: kept to-local positions in ascending order give
+  // ascending destination local addresses; shaded to-local positions
+  // select the source offset.
+  std::vector<int> kept_to;
+  std::vector<int> shaded_to;
+  for (int q = 0; q < log_n; ++q) {
+    if ((masks.unpack_shaded >> q) & 1u) {
+      shaded_to.push_back(q);
+    } else {
+      kept_to.push_back(q);
+    }
+  }
+  plan.recv_order = scatter_table(kept_to);
+  plan.src_pattern = scatter_table(shaded_to);
+  return plan;
+}
+
+std::uint64_t mask_plan_dest(const BitLayout& from, const BitLayout& to,
+                             const MaskPlan& plan, std::uint64_t rank, std::size_t o) {
+  return to.proc_of(from.abs_of(rank, plan.dest_pattern[o]));
+}
+
+std::uint64_t mask_plan_src(const BitLayout& from, const BitLayout& to,
+                            const MaskPlan& plan, std::uint64_t rank, std::size_t o) {
+  return from.proc_of(to.abs_of(rank, plan.src_pattern[o]));
+}
+
+}  // namespace bsort::layout

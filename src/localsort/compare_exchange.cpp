@@ -1,0 +1,55 @@
+#include "localsort/compare_exchange.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace bsort::localsort {
+
+void local_network_step(const layout::BitLayout& lay, std::uint64_t rank,
+                        std::span<std::uint32_t> data, int stage, int step) {
+  assert(data.size() == lay.local_size());
+  const int pos = lay.local_pos_of(step - 1);
+  assert(pos >= 0 && "compare bit must be local under this layout");
+  const std::uint64_t pair_bit = std::uint64_t{1} << pos;
+
+  // Direction: the merge containing absolute address A is ascending iff
+  // bit `stage` of A is 0.  That bit is either constant on this processor
+  // (a processor bit, or beyond lg N for the final stage) or varies with
+  // one local bit.
+  int dir_pos = -1;  // local bit carrying the direction, if any
+  bool const_ascending = true;
+  if (stage < lay.log_total()) {
+    if (lay.is_local_bit(stage)) {
+      dir_pos = lay.local_pos_of(stage);
+    } else {
+      const_ascending = util::bit(lay.abs_of(rank, 0), stage) == 0;
+    }
+  }
+
+  const std::uint64_t n = data.size();
+  for (std::uint64_t l = 0; l < n; ++l) {
+    if ((l & pair_bit) != 0) continue;
+    const std::uint64_t lp = l | pair_bit;
+    const bool ascending =
+        dir_pos >= 0 ? util::bit(l, dir_pos) == 0 : const_ascending;
+    // The element with 0 in the compare bit keeps the minimum iff the
+    // merge is ascending.
+    if ((data[l] > data[lp]) == ascending) std::swap(data[l], data[lp]);
+  }
+}
+
+void local_network_steps(const layout::BitLayout& lay, std::uint64_t rank,
+                         std::span<std::uint32_t> data, int stage, int step, int count) {
+  for (int i = 0; i < count; ++i) {
+    local_network_step(lay, rank, data, stage, step);
+    --step;
+    if (step == 0) {
+      ++stage;
+      step = stage;
+    }
+  }
+}
+
+}  // namespace bsort::localsort

@@ -1,0 +1,27 @@
+// Local compare-exchange execution of bitonic-network steps under an
+// arbitrary BitLayout — the unoptimized "simulate the butterfly"
+// computation that Chapter 4's optimizations replace, and the ground
+// truth they are validated against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "layout/bit_layout.hpp"
+
+namespace bsort::localsort {
+
+/// Execute step `step` of stage `stage` of the bitonic sorting network on
+/// the local portion of the data.  The compare bit (absolute bit step-1)
+/// must be a local bit of `lay`.
+void local_network_step(const layout::BitLayout& lay, std::uint64_t rank,
+                        std::span<std::uint32_t> data, int stage, int step);
+
+/// Execute `count` consecutive network steps starting at (stage, step),
+/// advancing across stage boundaries (step s of stage k is followed by
+/// step s-1, and step 1 by step k+1 of stage k+1).  All compare bits must
+/// be local under `lay`.
+void local_network_steps(const layout::BitLayout& lay, std::uint64_t rank,
+                         std::span<std::uint32_t> data, int stage, int step, int count);
+
+}  // namespace bsort::localsort

@@ -1,0 +1,28 @@
+// p-way merge of sorted runs (Section 4.3): after a smart remap the data
+// on each processor arrives as one sorted run per peer (ascending from
+// the first half of the group, descending from the second half); merging
+// them directly replaces the generic unpack + sort, eliminating the
+// unpack overhead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bsort::localsort {
+
+/// One input run; `ascending` describes the run's own order.
+struct Run {
+  std::span<const std::uint32_t> data;
+  bool ascending;
+};
+
+/// Merge `runs` into `out` in ascending order.  out.size() must equal the
+/// total input size.  Uses a simple binary-heap tournament; O(N log p).
+void pway_merge(std::span<const Run> runs, std::span<std::uint32_t> out);
+
+/// Merge two ascending runs (fast path used by TwoPhase computation).
+void two_way_merge(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b,
+                   std::span<std::uint32_t> out);
+
+}  // namespace bsort::localsort

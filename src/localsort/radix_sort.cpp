@@ -1,0 +1,53 @@
+#include "localsort/radix_sort.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace bsort::localsort {
+
+namespace {
+constexpr int kDigitBits = 8;
+constexpr int kBuckets = 1 << kDigitBits;
+constexpr int kPasses = 4;  // 32 bits / 8
+}  // namespace
+
+void radix_sort(std::span<std::uint32_t> keys, std::vector<std::uint32_t>& scratch) {
+  const std::size_t n = keys.size();
+  if (n <= 1) return;
+  scratch.resize(n);
+  std::uint32_t* src = keys.data();
+  std::uint32_t* dst = scratch.data();
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const int shift = pass * kDigitBits;
+    std::array<std::size_t, kBuckets> count{};
+    for (std::size_t i = 0; i < n; ++i) ++count[(src[i] >> shift) & (kBuckets - 1)];
+    // Skip passes where all keys share the digit (common for 31-bit keys
+    // in the top pass).
+    if (count[(src[0] >> shift) & (kBuckets - 1)] == n) continue;
+    std::size_t offset = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      const std::size_t c = count[static_cast<std::size_t>(b)];
+      count[static_cast<std::size_t>(b)] = offset;
+      offset += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[count[(src[i] >> shift) & (kBuckets - 1)]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != keys.data()) std::copy(src, src + n, keys.data());
+}
+
+void radix_sort(std::span<std::uint32_t> keys) {
+  std::vector<std::uint32_t> scratch;
+  radix_sort(keys, scratch);
+}
+
+void radix_sort_descending(std::span<std::uint32_t> keys,
+                           std::vector<std::uint32_t>& scratch) {
+  for (auto& k : keys) k = ~k;
+  radix_sort(keys, scratch);
+  for (auto& k : keys) k = ~k;
+}
+
+}  // namespace bsort::localsort

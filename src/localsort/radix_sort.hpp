@@ -1,0 +1,23 @@
+// LSD radix sort for 32-bit keys — the local sort of the first lg n
+// stages (Section 4.4: keys are in a known range, radix sort is linear).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bsort::localsort {
+
+/// Sort ascending, 8-bit digits (4 passes over 31-bit keys).  `scratch`
+/// is resized as needed and reused across calls to avoid allocation in
+/// timed loops.
+void radix_sort(std::span<std::uint32_t> keys, std::vector<std::uint32_t>& scratch);
+
+/// Sort ascending with a private scratch buffer.
+void radix_sort(std::span<std::uint32_t> keys);
+
+/// Sort descending (complement trick: sort ~key ascending).
+void radix_sort_descending(std::span<std::uint32_t> keys,
+                           std::vector<std::uint32_t>& scratch);
+
+}  // namespace bsort::localsort

@@ -1,0 +1,71 @@
+#include "loggp/choose.hpp"
+
+#include <cassert>
+
+#include "schedule/formulas.hpp"
+#include "util/bits.hpp"
+
+namespace bsort::loggp {
+
+std::string_view strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kBlocked:
+      return "blocked";
+    case Strategy::kCyclicBlocked:
+      return "cyclic-blocked";
+    case Strategy::kSmart:
+      return "smart";
+  }
+  return "?";
+}
+
+StrategyPrediction predict(Strategy s, const Params& p, std::uint64_t keys_per_proc,
+                           std::uint64_t nprocs, int elem_bytes) {
+  StrategyMetrics m{};
+  switch (s) {
+    case Strategy::kBlocked:
+      m = blocked_metrics(keys_per_proc, nprocs);
+      break;
+    case Strategy::kCyclicBlocked:
+      m = cyclic_blocked_metrics(keys_per_proc, nprocs);
+      break;
+    case Strategy::kSmart: {
+      // General-shape formulas from the schedule module (the closed-form
+      // smart_metrics assumes lgP(lgP+1)/2 <= lg n).
+      const int log_n = util::ilog2(keys_per_proc);
+      const int log_p = util::ilog2(nprocs);
+      m.remaps = schedule::smart_remap_count(log_n, log_p);
+      m.elements = schedule::smart_volume_per_proc(log_n, log_p);
+      m.messages = schedule::smart_messages_per_proc(log_n, log_p);
+      break;
+    }
+  }
+  return StrategyPrediction{
+      .strategy = s,
+      .metrics = m,
+      .time_short_us = total_time_short(p, m.remaps, m.elements),
+      .time_long_us =
+          total_time_long(p, m.remaps, m.elements, m.messages, elem_bytes),
+  };
+}
+
+Strategy choose_strategy(const Params& p, std::uint64_t keys_per_proc,
+                         std::uint64_t nprocs, bool use_long_messages,
+                         int elem_bytes) {
+  assert(util::is_pow2(keys_per_proc) && util::is_pow2(nprocs));
+  Strategy best = Strategy::kSmart;
+  double best_time = -1;
+  for (const Strategy s :
+       {Strategy::kBlocked, Strategy::kCyclicBlocked, Strategy::kSmart}) {
+    if (s == Strategy::kCyclicBlocked && keys_per_proc < nprocs) continue;
+    const auto pred = predict(s, p, keys_per_proc, nprocs, elem_bytes);
+    const double t = use_long_messages ? pred.time_long_us : pred.time_short_us;
+    if (best_time < 0 || t < best_time) {
+      best_time = t;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace bsort::loggp

@@ -1,0 +1,40 @@
+// Model-driven strategy selection (Section 3.4.3): "Given the model
+// parameters L, o, g, G and P we can decide which algorithm is the best
+// (communication-wise) for a given data size n, by plugging in all
+// numbers in the above formulas and comparing the results."
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "loggp/cost.hpp"
+#include "loggp/params.hpp"
+
+namespace bsort::loggp {
+
+enum class Strategy { kBlocked, kCyclicBlocked, kSmart };
+
+std::string_view strategy_name(Strategy s);
+
+/// Predicted communication metrics for one strategy under the given
+/// shape, with LogP (short) and LogGP (long) time predictions.
+struct StrategyPrediction {
+  Strategy strategy;
+  StrategyMetrics metrics;
+  double time_short_us;
+  double time_long_us;
+};
+
+StrategyPrediction predict(Strategy s, const Params& p, std::uint64_t keys_per_proc,
+                           std::uint64_t nprocs, int elem_bytes = 4);
+
+/// The strategy with the minimum predicted communication time under the
+/// given message regime.  `use_long_messages` selects the LogGP (long)
+/// or LogP (short) prediction.  Note the cyclic-blocked strategy is only
+/// admissible when keys_per_proc >= nprocs (N >= P^2); inadmissible
+/// strategies are skipped.
+Strategy choose_strategy(const Params& p, std::uint64_t keys_per_proc,
+                         std::uint64_t nprocs, bool use_long_messages,
+                         int elem_bytes = 4);
+
+}  // namespace bsort::loggp

@@ -1,0 +1,62 @@
+#include "loggp/cost.hpp"
+
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace bsort::loggp {
+
+double remap_time_short(const Params& p, std::uint64_t elements) {
+  if (elements == 0) return 0.0;
+  return p.L + 2 * p.o + p.g * static_cast<double>(elements - 1);
+}
+
+double remap_time_long(const Params& p, std::uint64_t elements, std::uint64_t messages,
+                       int elem_bytes) {
+  if (elements == 0 || messages == 0) return 0.0;
+  assert(messages <= elements);
+  const double Ge = p.G_per_element(elem_bytes);
+  return p.L + 2 * p.o + Ge * static_cast<double>(elements - messages) +
+         p.g * static_cast<double>(messages - 1);
+}
+
+double total_time_short(const Params& p, std::uint64_t remaps, std::uint64_t total_elements) {
+  return (p.L + 2 * p.o - p.g) * static_cast<double>(remaps) +
+         p.g * static_cast<double>(total_elements);
+}
+
+double total_time_long(const Params& p, std::uint64_t remaps, std::uint64_t total_elements,
+                       std::uint64_t total_messages, int elem_bytes) {
+  // T = (L + 2o - g) * R + G*V + (g - G) * M  (Section 3.4.3)
+  const double Ge = p.G_per_element(elem_bytes);
+  return (p.L + 2 * p.o - p.g) * static_cast<double>(remaps) +
+         Ge * static_cast<double>(total_elements) +
+         (p.g - Ge) * static_cast<double>(total_messages);
+}
+
+StrategyMetrics blocked_metrics(std::uint64_t n, std::uint64_t P) {
+  const std::uint64_t lgP = static_cast<std::uint64_t>(util::ilog2(P));
+  const std::uint64_t R = lgP * (lgP + 1) / 2;
+  // Every remote step exchanges the whole local array with one partner.
+  return StrategyMetrics{.remaps = R, .elements = n * R, .messages = R};
+}
+
+StrategyMetrics cyclic_blocked_metrics(std::uint64_t n, std::uint64_t P) {
+  const std::uint64_t lgP = static_cast<std::uint64_t>(util::ilog2(P));
+  const std::uint64_t R = 2 * lgP;
+  // Each remap is an all-to-all: n*(P-1)/P elements in P-1 messages.
+  return StrategyMetrics{
+      .remaps = R, .elements = 2 * n * (P - 1) / P * lgP, .messages = R * (P - 1)};
+}
+
+StrategyMetrics smart_metrics(std::uint64_t n, std::uint64_t P) {
+  const std::uint64_t lgP = static_cast<std::uint64_t>(util::ilog2(P));
+  [[maybe_unused]] const std::uint64_t lgn = static_cast<std::uint64_t>(util::ilog2(n));
+  assert(lgP * (lgP + 1) / 2 <= lgn && "closed forms assume the usual regime");
+  const std::uint64_t R = lgP + 1;
+  // V = n * lgP (Section 3.2.1).  M lower bound (Section 3.4.3):
+  // sum_{i=1..lgP} (2^i - 1) + (P - 1) = 3(P-1) - lgP.
+  return StrategyMetrics{.remaps = R, .elements = n * lgP, .messages = 3 * (P - 1) - lgP};
+}
+
+}  // namespace bsort::loggp

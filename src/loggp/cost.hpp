@@ -1,0 +1,54 @@
+// Communication-time formulas from Section 3.4 of the thesis.
+//
+// For a remap i in which a processor transfers V_i elements in M_i
+// messages:
+//   short messages (LogP):   T_i = L + 2o + g * (V_i - 1)
+//   long  messages (LogGP):  T_i = L + 2o + G*(V_i - M_i) + g*(M_i - 1)
+// and over R remaps:
+//   T = (L + 2o - g) * R + g * V                       (short)
+//   T = (L + 2o - g) * R + G * V + (g - G) * M         (long)
+//
+// The closed-form R / V / M expressions for the three remapping
+// strategies (Blocked, Cyclic-Blocked, Smart) from Sections 3.4.2-3.4.3
+// are also provided so benches and tests can compare model vs. measured.
+#pragma once
+
+#include <cstdint>
+
+#include "loggp/params.hpp"
+
+namespace bsort::loggp {
+
+/// Per-remap communication metrics for one processor.
+struct RemapMetrics {
+  std::uint64_t elements;  ///< V_i: keys sent by this processor
+  std::uint64_t messages;  ///< M_i: messages sent by this processor
+};
+
+/// Time (us) for one remap with short messages (one key per message).
+double remap_time_short(const Params& p, std::uint64_t elements);
+
+/// Time (us) for one remap with long messages.
+double remap_time_long(const Params& p, std::uint64_t elements, std::uint64_t messages,
+                       int elem_bytes);
+
+/// Aggregate time over R remaps given totals V and M (Section 3.4 closed
+/// forms; equals the sum of the per-remap formulas).
+double total_time_short(const Params& p, std::uint64_t remaps, std::uint64_t total_elements);
+double total_time_long(const Params& p, std::uint64_t remaps, std::uint64_t total_elements,
+                       std::uint64_t total_messages, int elem_bytes);
+
+/// Closed-form R / V / M per processor for the three remapping strategies
+/// of Section 3.4.2/3.4.3, assuming the "usual" regime
+/// lgP(lgP+1)/2 <= lg n (V and M in elements / messages per processor).
+struct StrategyMetrics {
+  std::uint64_t remaps;    ///< R
+  std::uint64_t elements;  ///< V per processor
+  std::uint64_t messages;  ///< M per processor (lower bound for Smart)
+};
+
+StrategyMetrics blocked_metrics(std::uint64_t n, std::uint64_t P);
+StrategyMetrics cyclic_blocked_metrics(std::uint64_t n, std::uint64_t P);
+StrategyMetrics smart_metrics(std::uint64_t n, std::uint64_t P);
+
+}  // namespace bsort::loggp

@@ -1,0 +1,17 @@
+#include "loggp/params.hpp"
+
+namespace bsort::loggp {
+
+Params meiko_cs2() {
+  // [AISS95] Table 1 (Meiko CS-2): L=7.5us, o=1.7us, g=13.6us,
+  // G=0.025us/byte (~40MB/s sustained bulk bandwidth).
+  return Params{.L = 7.5, .o = 1.7, .g = 13.6, .G = 0.025};
+}
+
+Params modern_cluster() {
+  // Roughly a 100 Gb/s RDMA fabric: ~1.3us latency, ~0.4us overhead,
+  // ~0.7us short-message gap, 0.00008 us/byte (~12.5 GB/s).
+  return Params{.L = 1.3, .o = 0.4, .g = 0.7, .G = 0.00008};
+}
+
+}  // namespace bsort::loggp

@@ -1,0 +1,34 @@
+// LogP / LogGP machine parameters (Culler et al. 1993; Alexandrov,
+// Ionescu, Schauser, Scheiman 1995).
+//
+// The thesis analyzes all remap-based bitonic sorts under these models
+// (Section 3.4); our simulated machine charges communication time with
+// exactly these parameters.
+#pragma once
+
+namespace bsort::loggp {
+
+/// All times in microseconds; G is per *byte*.
+struct Params {
+  double L;  ///< latency: source-to-target message delivery bound
+  double o;  ///< overhead: processor busy time per send or receive
+  double g;  ///< gap: min interval between consecutive short messages
+  double G;  ///< Gap per byte for long messages (1/G = bulk bandwidth)
+
+  /// Effective per-element gap for `elem_bytes`-byte keys in a long
+  /// message.
+  [[nodiscard]] double G_per_element(int elem_bytes) const {
+    return G * static_cast<double>(elem_bytes);
+  }
+};
+
+/// Meiko CS-2 parameters as published in the LogGP paper [AISS95] for the
+/// machine the thesis measured on (Split-C over Elan Active Messages):
+/// L = 7.5us, o = 1.7us, g = 13.6us, bulk bandwidth ~ 40 MB/s.
+Params meiko_cs2();
+
+/// A contemporary-cluster preset (much lower overheads) used by the
+/// sensitivity benches to show which conclusions are parameter-robust.
+Params modern_cluster();
+
+}  // namespace bsort::loggp

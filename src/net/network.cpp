@@ -1,0 +1,35 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace bsort::net {
+
+void reference_step(std::span<std::uint32_t> data, int stage, int step) {
+  assert(util::is_pow2(data.size()));
+  assert(step >= 1 && step <= stage);
+  assert(stage <= util::ilog2(data.size()));
+  const std::uint64_t half = std::uint64_t{1} << (step - 1);
+  for (std::uint64_t r = 0; r < data.size(); ++r) {
+    if ((r & half) != 0) continue;  // visit each pair once, from its low row
+    const std::uint64_t r2 = r | half;
+    // Row r has 0 in the compare bit, so it keeps the minimum iff the
+    // merge containing it is ascending.
+    const bool min_at_low = merge_ascending(r, stage);
+    if ((data[r] > data[r2]) == min_at_low) std::swap(data[r], data[r2]);
+  }
+}
+
+void reference_stage(std::span<std::uint32_t> data, int stage) {
+  for (int step = stage; step >= 1; --step) reference_step(data, stage, step);
+}
+
+void reference_sort(std::span<std::uint32_t> data) {
+  assert(util::is_pow2(data.size()));
+  const int stages = util::ilog2(data.size());
+  for (int stage = 1; stage <= stages; ++stage) reference_stage(data, stage);
+}
+
+}  // namespace bsort::net

@@ -1,0 +1,47 @@
+// Exact semantics of Batcher's bitonic sorting network (Definition 3 of
+// the thesis) and a sequential reference executor.
+//
+// Conventions (identical to the thesis):
+//   * N keys, N a power of two; rows ("absolute addresses") 0..N-1.
+//   * Stages are numbered 1..lg N; stage s consists of steps s, s-1, .., 1
+//     (steps count DOWN).  Step j compares rows that differ in bit j-1
+//     (0-indexed), i.e. the thesis' "bit j" with 1-indexed bits.
+//   * The node at row r keeps the MIN of the pair iff
+//     bit(r, j-1) == bit(r, s): merges of size 2^s alternate direction
+//     with the parity of bit s of the row, and within an ascending merge
+//     the partner with a 0 in the compare bit receives the minimum.
+//
+// The reference executor is the ground truth that every parallel
+// implementation and every local-computation optimization is tested
+// against, column by column.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace bsort::net {
+
+/// True iff the network node at row r keeps the minimum of its compare
+/// pair during step `step` of stage `stage`.
+constexpr bool keeps_min(std::uint64_t row, int stage, int step) noexcept {
+  const std::uint64_t compare_bit = (row >> (step - 1)) & 1u;
+  const std::uint64_t direction_bit = (row >> stage) & 1u;
+  return compare_bit == direction_bit;
+}
+
+/// True iff the merge of size 2^stage containing row `row` is ascending.
+constexpr bool merge_ascending(std::uint64_t row, int stage) noexcept {
+  return ((row >> stage) & 1u) == 0;
+}
+
+/// Apply one step of the network to the full data array (data.size() must
+/// be a power of two and step <= stage <= lg N).
+void reference_step(std::span<std::uint32_t> data, int stage, int step);
+
+/// Apply one full stage (steps stage..1).
+void reference_stage(std::span<std::uint32_t> data, int stage);
+
+/// Run the whole network (stages 1..lg N); sorts ascending.
+void reference_sort(std::span<std::uint32_t> data);
+
+}  // namespace bsort::net

@@ -1,0 +1,53 @@
+#include "net/sequence.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace bsort::net {
+
+bool is_bitonic(std::span<const std::uint32_t> seq) {
+  const std::size_t n = seq.size();
+  if (n <= 2) return true;
+  // Record the direction (+1 rising / -1 falling) of every cyclically
+  // adjacent, non-equal pair.  A sequence is bitonic iff the cyclic
+  // direction string has at most two sign changes (ascending -> one rise
+  // run + one wrap fall; rotated rise-fall -> at most two boundaries).
+  std::vector<int> dirs;
+  dirs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t a = seq[i];
+    const std::uint32_t b = seq[(i + 1) % n];
+    if (a < b) dirs.push_back(+1);
+    if (a > b) dirs.push_back(-1);
+  }
+  if (dirs.size() <= 1) return true;  // constant or single run
+  int changes = 0;
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    if (dirs[i] != dirs[(i + 1) % dirs.size()]) ++changes;
+  }
+  return changes <= 2;
+}
+
+void bitonic_split(std::span<std::uint32_t> seq) {
+  assert(seq.size() % 2 == 0);
+  const std::size_t half = seq.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    if (seq[i] > seq[i + half]) std::swap(seq[i], seq[i + half]);
+  }
+}
+
+std::size_t bitonic_min_index_linear(std::span<const std::uint32_t> seq) {
+  assert(!seq.empty());
+  return static_cast<std::size_t>(
+      std::min_element(seq.begin(), seq.end()) - seq.begin());
+}
+
+MinSearchResult bitonic_min_index_log(std::span<const std::uint32_t> seq) {
+  assert(!seq.empty());
+  return bitonic_min_index_log_generic(seq.size(),
+                                       [&](std::size_t i) { return seq[i]; });
+}
+
+}  // namespace bsort::net

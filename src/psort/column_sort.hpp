@@ -1,0 +1,29 @@
+// Leighton's column sort (1985) on the simulated machine — the related
+// remap-based sorting algorithm Chapter 6 of the thesis compares the
+// bitonic remapping strategy against: it alternates local column sorts
+// with fixed data redistributions (transpose / untranspose, which are the
+// cyclic<->blocked remaps of Chapter 2, and a half-column shift).
+//
+// The keys form an r x s matrix (s = P columns of r = N/P keys, one
+// column per processor, column-major).  Eight steps:
+//   1. sort columns   2. transpose      3. sort columns   4. untranspose
+//   5. sort columns   6. shift by r/2   7. sort columns   8. unshift
+// Correct whenever r >= 2 (s - 1)^2, i.e. roughly N >= 2 P^3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "simd/machine.hpp"
+
+namespace bsort::psort {
+
+/// True iff column sort's r >= 2 (s-1)^2 condition holds for this shape.
+bool column_sort_shape_ok(std::uint64_t keys_per_proc, std::uint64_t nprocs);
+
+/// Sort with column sort.  Every processor holds keys_per_proc keys; the
+/// input is this rank's blocked slice and on return holds the blocked
+/// slice of the globally sorted data.  Requires column_sort_shape_ok.
+void column_sort(simd::Proc& p, std::span<std::uint32_t> keys);
+
+}  // namespace bsort::psort

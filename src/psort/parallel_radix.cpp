@@ -1,0 +1,145 @@
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "psort/psort.hpp"
+#include "util/bits.hpp"
+
+namespace bsort::psort {
+
+namespace {
+constexpr int kDigitBits = 8;
+constexpr int kBuckets = 1 << kDigitBits;
+constexpr int kPasses = 4;  // 31-bit keys
+}  // namespace
+
+void parallel_radix_sort(simd::Proc& p, std::vector<std::uint32_t>& keys) {
+  const auto P = static_cast<std::uint64_t>(p.nprocs());
+  const auto me = static_cast<std::uint64_t>(p.rank());
+  const std::uint64_t n = keys.size();
+  if (P == 1) {
+    p.timed(simd::Phase::kCompute, [&] {
+      std::vector<std::uint32_t> scratch(n);
+      for (int pass = 0; pass < kPasses; ++pass) {
+        // Delegate to a simple local LSD pass for the P=1 case.
+        const int shift = pass * kDigitBits;
+        std::array<std::size_t, kBuckets> count{};
+        for (auto k : keys) ++count[(k >> shift) & (kBuckets - 1)];
+        std::size_t off = 0;
+        for (auto& c : count) {
+          const std::size_t x = c;
+          c = off;
+          off += x;
+        }
+        for (auto k : keys) scratch[count[(k >> shift) & (kBuckets - 1)]++] = k;
+        keys.swap(scratch);
+      }
+    });
+    return;
+  }
+
+  std::vector<std::uint64_t> all_peers(P);
+  std::iota(all_peers.begin(), all_peers.end(), 0);
+  std::vector<std::uint32_t> stable(n);
+  std::vector<std::uint32_t> next(n);
+
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const int shift = pass * kDigitBits;
+    // Local histogram + stable local partition by digit.
+    std::array<std::uint32_t, kBuckets> count{};
+    p.timed(simd::Phase::kCompute, [&] {
+      for (const auto k : keys) ++count[(k >> shift) & (kBuckets - 1)];
+      std::array<std::uint32_t, kBuckets> offset{};
+      std::uint32_t off = 0;
+      for (int b = 0; b < kBuckets; ++b) {
+        offset[static_cast<std::size_t>(b)] = off;
+        off += count[static_cast<std::size_t>(b)];
+      }
+      for (const auto k : keys) stable[offset[(k >> shift) & (kBuckets - 1)]++] = k;
+    });
+
+    // Allgather histograms.
+    std::vector<std::vector<std::uint32_t>> hist_payloads(P);
+    p.timed(simd::Phase::kPack, [&] {
+      for (std::uint64_t d = 0; d < P; ++d) {
+        hist_payloads[d].assign(count.begin(), count.end());
+      }
+    });
+    auto hists = p.exchange(all_peers, std::move(hist_payloads), all_peers);
+    hists[me].assign(count.begin(), count.end());
+
+    // Global bucket starts and per-source prefixes.
+    std::vector<std::uint64_t> bucket_start(kBuckets + 1, 0);
+    std::vector<std::uint64_t> my_prefix(kBuckets, 0);  // keys of bucket b on procs < me
+    p.timed(simd::Phase::kCompute, [&] {
+      for (int b = 0; b < kBuckets; ++b) {
+        std::uint64_t total = 0;
+        for (std::uint64_t s = 0; s < P; ++s) {
+          if (s < me) my_prefix[static_cast<std::size_t>(b)] += hists[s][static_cast<std::size_t>(b)];
+          total += hists[s][static_cast<std::size_t>(b)];
+        }
+        bucket_start[static_cast<std::size_t>(b) + 1] =
+            bucket_start[static_cast<std::size_t>(b)] + total;
+      }
+    });
+
+    // Build per-destination messages: walking `stable` (bucket-major,
+    // locally stable) visits strictly increasing global destination
+    // indices, so destinations are non-decreasing.
+    std::vector<std::vector<std::uint32_t>> payloads(P);
+    p.timed(simd::Phase::kPack, [&] {
+      std::size_t idx = 0;
+      for (int b = 0; b < kBuckets; ++b) {
+        std::uint64_t g = bucket_start[static_cast<std::size_t>(b)] +
+                          my_prefix[static_cast<std::size_t>(b)];
+        const std::uint32_t c = count[static_cast<std::size_t>(b)];
+        for (std::uint32_t q = 0; q < c; ++q, ++g, ++idx) {
+          payloads[g / n].push_back(stable[idx]);
+        }
+      }
+    });
+    auto received = p.exchange(all_peers, std::move(payloads), all_peers);
+
+    // Placement: for each (bucket, source) segment that intersects my
+    // global range, consume the source's message sequentially (messages
+    // arrive ordered by increasing global index).
+    p.timed(simd::Phase::kUnpack, [&] {
+      const std::uint64_t lo = me * n;
+      const std::uint64_t hi = lo + n;
+      std::vector<std::size_t> cursor(P, 0);
+      // Recover the self message (exchange() skipped it).
+      std::vector<std::uint32_t> self_msg;
+      {
+        std::size_t idx = 0;
+        for (int b = 0; b < kBuckets; ++b) {
+          std::uint64_t g = bucket_start[static_cast<std::size_t>(b)] +
+                            my_prefix[static_cast<std::size_t>(b)];
+          const std::uint32_t c = count[static_cast<std::size_t>(b)];
+          for (std::uint32_t q = 0; q < c; ++q, ++g, ++idx) {
+            if (g / n == me) self_msg.push_back(stable[idx]);
+          }
+        }
+        received[me] = std::move(self_msg);
+      }
+      for (int b = 0; b < kBuckets; ++b) {
+        std::uint64_t seg = bucket_start[static_cast<std::size_t>(b)];
+        for (std::uint64_t s = 0; s < P; ++s) {
+          const std::uint64_t cnt = hists[s][static_cast<std::size_t>(b)];
+          const std::uint64_t seg_lo = seg;
+          const std::uint64_t seg_hi = seg + cnt;
+          seg = seg_hi;
+          const std::uint64_t from = std::max(seg_lo, lo);
+          const std::uint64_t to = std::min(seg_hi, hi);
+          for (std::uint64_t g = from; g < to; ++g) {
+            next[g - lo] = received[s][cursor[s]++];
+          }
+        }
+      }
+      keys.swap(next);
+    });
+  }
+}
+
+}  // namespace bsort::psort

@@ -1,0 +1,86 @@
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "localsort/pway_merge.hpp"
+#include "localsort/radix_sort.hpp"
+#include "psort/psort.hpp"
+
+namespace bsort::psort {
+
+void parallel_sample_sort(simd::Proc& p, std::vector<std::uint32_t>& keys, int oversample) {
+  const auto P = static_cast<std::uint64_t>(p.nprocs());
+  const auto me = static_cast<std::uint64_t>(p.rank());
+  const std::uint64_t n = keys.size();
+
+  // Phase 1: local sort.
+  std::vector<std::uint32_t> scratch;
+  p.timed(simd::Phase::kCompute, [&] {
+    localsort::radix_sort(std::span<std::uint32_t>(keys.data(), keys.size()), scratch);
+  });
+  if (P == 1) return;
+
+  std::vector<std::uint64_t> all_peers(P);
+  std::iota(all_peers.begin(), all_peers.end(), 0);
+
+  // Phase 2: oversample and allgather; every processor derives the same
+  // P-1 splitters from the combined sample.
+  const auto s = static_cast<std::uint64_t>(oversample);
+  std::vector<std::uint32_t> my_sample;
+  p.timed(simd::Phase::kCompute, [&] {
+    my_sample.reserve(s);
+    for (std::uint64_t i = 0; i < s; ++i) {
+      my_sample.push_back(keys[(i + 1) * n / (s + 1)]);
+    }
+  });
+  std::vector<std::vector<std::uint32_t>> sample_payloads(P, my_sample);
+  auto samples = p.exchange(all_peers, std::move(sample_payloads), all_peers);
+  samples[me] = my_sample;
+
+  std::vector<std::uint32_t> splitters;
+  p.timed(simd::Phase::kCompute, [&] {
+    std::vector<std::uint32_t> all;
+    all.reserve(P * s);
+    for (const auto& v : samples) all.insert(all.end(), v.begin(), v.end());
+    localsort::radix_sort(std::span<std::uint32_t>(all.data(), all.size()), scratch);
+    splitters.reserve(P - 1);
+    for (std::uint64_t i = 1; i < P; ++i) {
+      splitters.push_back(all[i * all.size() / P]);
+    }
+  });
+
+  // Phase 3: partition the sorted run by the splitters and exchange.
+  std::vector<std::vector<std::uint32_t>> payloads(P);
+  p.timed(simd::Phase::kPack, [&] {
+    std::size_t begin = 0;
+    for (std::uint64_t d = 0; d < P; ++d) {
+      const std::size_t end =
+          d + 1 < P
+              ? static_cast<std::size_t>(
+                    std::upper_bound(keys.begin(), keys.end(), splitters[d]) - keys.begin())
+              : keys.size();
+      payloads[d].assign(keys.begin() + static_cast<std::ptrdiff_t>(begin),
+                         keys.begin() + static_cast<std::ptrdiff_t>(end));
+      begin = end;
+    }
+  });
+  std::vector<std::uint32_t> self_part = payloads[me];
+  auto received = p.exchange(all_peers, std::move(payloads), all_peers);
+  received[me] = std::move(self_part);
+
+  // Phase 4: p-way merge of the P sorted runs.
+  p.timed(simd::Phase::kCompute, [&] {
+    std::size_t total = 0;
+    for (const auto& r : received) total += r.size();
+    keys.resize(total);
+    std::vector<localsort::Run> runs;
+    runs.reserve(received.size());
+    for (const auto& r : received) {
+      runs.push_back({std::span<const std::uint32_t>(r.data(), r.size()), true});
+    }
+    localsort::pway_merge(runs, std::span<std::uint32_t>(keys.data(), keys.size()));
+  });
+}
+
+}  // namespace bsort::psort

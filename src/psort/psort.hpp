@@ -1,0 +1,27 @@
+// Comparator parallel sorts for the Chapter 5.5 experiments: long-message
+// parallel radix sort and sample sort in the style of the optimized
+// Split-C implementations of [AISS95].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simd/machine.hpp"
+
+namespace bsort::psort {
+
+/// LSD parallel radix sort (8-bit digits).  Each processor contributes
+/// `keys` (same count everywhere); on return `keys` holds this
+/// processor's blocked portion of the globally sorted data (same count).
+/// Each pass: local histogram -> allgather of histograms -> all-to-all
+/// key redistribution to the globally stable digit order.
+void parallel_radix_sort(simd::Proc& p, std::vector<std::uint32_t>& keys);
+
+/// Sample sort with oversampling: local radix sort, splitter selection
+/// from an allgathered sample, one all-to-all, local p-way merge.  On
+/// return `keys` holds this processor's partition (sizes vary with the
+/// key distribution; concatenating over ranks yields the sorted data).
+void parallel_sample_sort(simd::Proc& p, std::vector<std::uint32_t>& keys,
+                          int oversample = 64);
+
+}  // namespace bsort::psort

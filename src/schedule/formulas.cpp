@@ -1,0 +1,99 @@
+#include "schedule/formulas.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bsort::schedule {
+
+int remaining_steps(int log_n, int log_p) {
+  return static_cast<int>(
+      (static_cast<std::uint64_t>(log_p) * (log_p + 1) / 2) %
+      static_cast<std::uint64_t>(log_n));
+}
+
+std::uint64_t smart_remap_count(int log_n, int log_p) {
+  // ceil(lgP + lgP(lgP+1) / (2 lg n))
+  const std::uint64_t tri = static_cast<std::uint64_t>(log_p) * (log_p + 1) / 2;
+  const std::uint64_t lgn = static_cast<std::uint64_t>(log_n);
+  return static_cast<std::uint64_t>(log_p) + (tri + lgn - 1) / lgn;
+}
+
+std::uint64_t cyclic_blocked_remap_count(int log_p) {
+  return 2 * static_cast<std::uint64_t>(log_p);
+}
+
+int a_k(int log_n, int k) { return (k * (k - 1) / 2) % log_n; }
+
+int s_k(int log_n, int k) {
+  const int ak = a_k(log_n, k);
+  return ak == 0 ? log_n + k : k + ak;
+}
+
+int predicted_bits_changed(int log_n, int log_p, int k, int s) {
+  int r;
+  if (k == log_p && s <= log_n) {
+    // Last remap (back to blocked): r = s for s <= lgP, else lgP.
+    r = std::min(s, log_p);
+  } else if (s >= log_n) {
+    // Inside remap: k bits, capped by lg n when n < P (Lemma 3).
+    r = std::min(k, log_n);
+  } else {
+    // Crossing remap: k + 1 bits, never more than the lg n local bits.
+    r = std::min(k + 1, log_n);
+  }
+  return r;
+}
+
+std::uint64_t smart_volume_per_proc(int log_n, int log_p) {
+  // Walk the HeadRemap cursor over the last lg P stages, charging
+  // n (1 - 2^-r) at each remap with r from Lemma 3.  This is the exact
+  // sum V_OutRemap + V_InRemap + V_LastRemap of Section 3.2.1.
+  const std::uint64_t n = std::uint64_t{1} << log_n;
+  std::uint64_t vol = 0;
+  int k = 1;
+  int s = log_n + 1;
+  while (true) {
+    const int r = predicted_bits_changed(log_n, log_p, k, s);
+    vol += n - (n >> r);
+    if (k == log_p && s <= log_n) break;  // last remap
+    s -= log_n;
+    if (s <= 0) {
+      k += 1;
+      s += log_n + k;
+      if (k > log_p) break;  // finished exactly at the network's end
+    }
+  }
+  return vol;
+}
+
+std::uint64_t cyclic_blocked_volume_per_proc(int log_n, int log_p) {
+  const std::uint64_t n = std::uint64_t{1} << log_n;
+  const std::uint64_t P = std::uint64_t{1} << log_p;
+  return 2 * (n - n / P) * static_cast<std::uint64_t>(log_p);
+}
+
+std::uint64_t blocked_volume_per_proc(int log_n, int log_p) {
+  const std::uint64_t n = std::uint64_t{1} << log_n;
+  const std::uint64_t steps = static_cast<std::uint64_t>(log_p) * (log_p + 1) / 2;
+  return n * steps;
+}
+
+std::uint64_t smart_messages_per_proc(int log_n, int log_p) {
+  std::uint64_t msgs = 0;
+  int k = 1;
+  int s = log_n + 1;
+  while (true) {
+    const int r = predicted_bits_changed(log_n, log_p, k, s);
+    msgs += (std::uint64_t{1} << r) - 1;
+    if (k == log_p && s <= log_n) break;
+    s -= log_n;
+    if (s <= 0) {
+      k += 1;
+      s += log_n + k;
+      if (k > log_p) break;
+    }
+  }
+  return msgs;
+}
+
+}  // namespace bsort::schedule

@@ -1,0 +1,52 @@
+// Closed-form communication predictions from Sections 3.2.1 and 3.4.
+//
+// These are the analytic counterparts of what make_smart_schedule()
+// produces; the tests assert predicted == generated across wide (n, P)
+// sweeps, and the benches print model vs. measured.
+#pragma once
+
+#include <cstdint>
+
+namespace bsort::schedule {
+
+/// Steps executed after the last HeadRemap:
+/// (lgP (lgP + 1) / 2) mod lg n.
+int remaining_steps(int log_n, int log_p);
+
+/// Number of remaps of the smart strategy (Section 3.2.1):
+/// R_smart = ceil(lgP + lgP(lgP+1) / (2 lg n)).
+std::uint64_t smart_remap_count(int log_n, int log_p);
+
+/// Number of remaps of the cyclic-blocked strategy: 2 lg P.
+std::uint64_t cyclic_blocked_remap_count(int log_p);
+
+/// a_k = k(k-1)/2 mod lg n (Section 3.2.1): offset, within stage
+/// lg n + k, of the first HeadRemap layout change of that stage.
+int a_k(int log_n, int k);
+
+/// s_k: the step at which the layout changes for the first time within
+/// stage lg n + k under the HeadRemap strategy (Section 3.2.1).
+int s_k(int log_n, int k);
+
+/// Predicted N_BitsChanged (Lemma 3) for a smart remap at (k, s).
+int predicted_bits_changed(int log_n, int log_p, int k, int s);
+
+/// Predicted per-processor volume of the smart HeadRemap strategy, exact
+/// general formula of Section 3.2.1 (sum over OutRemaps, InRemaps and the
+/// LastRemap).
+std::uint64_t smart_volume_per_proc(int log_n, int log_p);
+
+/// Per-processor volume of the cyclic-blocked strategy:
+/// 2 n (1 - 1/P) lg P.
+std::uint64_t cyclic_blocked_volume_per_proc(int log_n, int log_p);
+
+/// Per-processor volume of the fixed blocked strategy:
+/// n * lgP(lgP+1)/2.
+std::uint64_t blocked_volume_per_proc(int log_n, int log_p);
+
+/// Messages sent per processor by the smart HeadRemap strategy:
+/// sum over remaps of (2^r - 1) with r from Lemma 3 (each remap sends one
+/// long message to every other member of its group).
+std::uint64_t smart_messages_per_proc(int log_n, int log_p);
+
+}  // namespace bsort::schedule

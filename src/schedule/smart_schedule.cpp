@@ -1,0 +1,80 @@
+#include "schedule/smart_schedule.hpp"
+
+#include <cassert>
+
+#include "schedule/formulas.hpp"
+
+namespace bsort::schedule {
+
+std::uint64_t SmartSchedule::total_steps() const {
+  std::uint64_t t = 0;
+  for (const auto& r : remaps) t += static_cast<std::uint64_t>(r.steps);
+  return t;
+}
+
+SmartSchedule make_smart_schedule(int log_n, int log_p, ShiftStrategy strategy,
+                                  int first_chunk) {
+  assert(log_n >= 1 && "smart sort needs at least 2 keys per processor");
+  assert(log_p >= 1);
+  SmartSchedule sched{log_n, log_p, {}};
+
+  if (first_chunk == 0) {
+    switch (strategy) {
+      case ShiftStrategy::kHead:
+        first_chunk = log_n;
+        break;
+      case ShiftStrategy::kTail: {
+        const int rem = remaining_steps(log_n, log_p);
+        first_chunk = rem == 0 ? log_n : rem;
+        break;
+      }
+    }
+  }
+  assert(first_chunk >= 1 && first_chunk <= log_n);
+
+  // Walk the last lg P stages.  State: the next step to execute is step s
+  // of stage lg n + k.
+  int k = 1;
+  int s = log_n + 1;
+  bool first = true;
+  while (true) {
+    if (k == log_p && s <= log_n) {
+      // Last remap (Definition 7 special case): back to blocked, execute
+      // the remaining s steps locally, done.
+      const auto sp = layout::smart_params(log_n, log_p, k, s);
+      sched.remaps.push_back(
+          {sp, layout::BitLayout::smart(log_n, log_p, sp), s});
+      break;
+    }
+    const auto sp = layout::smart_params(log_n, log_p, k, s);
+    const int chunk = first ? first_chunk : log_n;
+    first = false;
+    sched.remaps.push_back({sp, layout::BitLayout::smart(log_n, log_p, sp), chunk});
+    // Advance the (stage, step) cursor by `chunk` steps; a window crosses
+    // at most one stage boundary because chunk <= lg n < stage length.
+    s -= chunk;
+    if (s <= 0) {
+      k += 1;
+      s += log_n + k;  // continue at step (lg n + k) of the next stage
+      if (k > log_p) {
+        assert(s == log_n + k && "must finish exactly at the network's end");
+        break;
+      }
+    }
+  }
+  return sched;
+}
+
+std::uint64_t schedule_volume_per_proc(const SmartSchedule& sched) {
+  const std::uint64_t n = std::uint64_t{1} << sched.log_n;
+  auto prev = layout::BitLayout::blocked(sched.log_n, sched.log_p);
+  std::uint64_t volume = 0;
+  for (const auto& phase : sched.remaps) {
+    const int r = layout::bits_changed(prev, phase.layout);
+    volume += n - (n >> r);
+    prev = phase.layout;
+  }
+  return volume;
+}
+
+}  // namespace bsort::schedule

@@ -1,0 +1,61 @@
+// Smart-remap schedule generation (Algorithm 1 + Lemma 5 shift
+// strategies).
+//
+// A schedule lists, for the last lg P stages of the bitonic sorting
+// network, every remap: the smart layout to remap into (Definition 7) and
+// how many network steps to execute locally before the next remap.  The
+// default (HeadRemap) executes lg n steps after every remap except
+// possibly the last; TailRemap moves the short chunk to the front;
+// MiddleRemap variants shift the boundary anywhere in between (Lemma 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/bit_layout.hpp"
+
+namespace bsort::schedule {
+
+/// One remap of a smart schedule.
+struct RemapPhase {
+  layout::SmartParams params;  ///< Definition 7 parameters at the remap point
+  layout::BitLayout layout;    ///< layout remapped into (phase-1 ordering)
+  int steps;                   ///< network steps executed locally afterwards
+};
+
+struct SmartSchedule {
+  int log_n;
+  int log_p;
+  std::vector<RemapPhase> remaps;
+
+  /// Total network steps covered (must equal the steps of the last lg P
+  /// stages: lgP*lgn + lgP(lgP+1)/2).
+  [[nodiscard]] std::uint64_t total_steps() const;
+};
+
+/// Strategies of Lemma 5, expressed by the number of steps executed after
+/// the FIRST remap (all later remaps execute lg n steps, except the last
+/// which takes what remains):
+///   HeadRemap:    first chunk = lg n       (remainder lands at the end)
+///   TailRemap:    first chunk = N_rem      (remainder at the front)
+///   MiddleRemap:  any value in between / below
+enum class ShiftStrategy { kHead, kTail };
+
+/// Build a schedule.  `first_chunk` overrides the number of steps after
+/// the first remap (1..lg n); pass 0 to derive it from `strategy`.
+/// Requires lg n >= 1 (at least two keys per processor) and lg P >= 1.
+SmartSchedule make_smart_schedule(int log_n, int log_p,
+                                  ShiftStrategy strategy = ShiftStrategy::kHead,
+                                  int first_chunk = 0);
+
+/// Measured total volume per processor of a schedule: sum over remaps of
+/// n * (1 - 2^-r) where r is bits_changed into each remap's layout,
+/// starting from the blocked layout.
+std::uint64_t schedule_volume_per_proc(const SmartSchedule& sched);
+
+/// Total number of remaps (R).
+inline std::uint64_t schedule_remaps(const SmartSchedule& sched) {
+  return sched.remaps.size();
+}
+
+}  // namespace bsort::schedule

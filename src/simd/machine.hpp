@@ -1,0 +1,167 @@
+// A simulated distributed-memory SPMD machine — the substrate standing in
+// for the thesis' 64-node Meiko CS-2 running Split-C.
+//
+// Each virtual processor (VP) runs the SPMD program on its own thread
+// with a private simulated clock (microseconds):
+//   * local computation is charged with the executing thread's CPU time
+//     (CLOCK_THREAD_CPUTIME_ID), which is immune to oversubscription of
+//     the host's physical cores;
+//   * communication is charged analytically with the LogP (short
+//     messages) or LogGP (long messages) formulas of Section 3.4, using
+//     the machine's parameter set;
+//   * barriers synchronize clocks to the maximum, BSP style.
+// Phase-tagged accounting (compute / pack / transfer / unpack) feeds the
+// breakdown experiments (Figures 5.4 and 5.6, Table 5.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "loggp/params.hpp"
+
+namespace bsort::simd {
+
+enum class MessageMode {
+  kShort,  ///< one key per message; LogP charging (g per element)
+  kLong    ///< one bulk message per peer; LogGP charging (G per byte)
+};
+
+enum class Phase { kCompute = 0, kPack = 1, kTransfer = 2, kUnpack = 3 };
+inline constexpr int kPhaseCount = 4;
+
+struct PhaseBreakdown {
+  double us[kPhaseCount] = {0, 0, 0, 0};
+  [[nodiscard]] double total() const { return us[0] + us[1] + us[2] + us[3]; }
+  [[nodiscard]] double compute() const { return us[0]; }
+  [[nodiscard]] double pack() const { return us[1]; }
+  [[nodiscard]] double transfer() const { return us[2]; }
+  [[nodiscard]] double unpack() const { return us[3]; }
+};
+
+/// Communication counters for one VP.
+struct CommStats {
+  std::uint64_t exchanges = 0;      ///< communication steps (remaps)
+  std::uint64_t elements_sent = 0;  ///< keys sent to other processors
+  std::uint64_t messages_sent = 0;  ///< messages sent (== elements for short mode)
+};
+
+struct RunReport {
+  double makespan_us = 0;            ///< max over VPs of the final clock
+  std::vector<double> proc_us;       ///< final clock per VP
+  std::vector<PhaseBreakdown> proc_phases;
+  std::vector<CommStats> proc_comm;
+  double wall_seconds = 0;           ///< host wall time (diagnostic only)
+
+  /// Breakdown of the critical-path VP (the one defining the makespan).
+  [[nodiscard]] const PhaseBreakdown& critical_phases() const;
+  [[nodiscard]] CommStats total_comm() const;
+};
+
+class Machine;
+
+/// Per-VP handle passed to the SPMD program.
+class Proc {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] MessageMode mode() const;
+  [[nodiscard]] const loggp::Params& params() const;
+
+  /// BSP barrier; clocks of all VPs are advanced to the maximum.
+  void barrier();
+
+  /// Run f() and charge its execution time to `phase`, scaled by the
+  /// machine's cpu_scale (used to model a slower processor than the
+  /// host's, e.g. the 40 MHz SuperSparc of the Meiko CS-2).
+  ///
+  /// Timed sections of all VPs are serialized by a machine-wide mutex and
+  /// measured with the monotonic clock: the host has fewer cores than the
+  /// machine has VPs, and thread-CPU clocks are too coarse (10 ms ticks
+  /// on this platform), so exclusive execution is the only way to charge
+  /// each VP what its local phase actually costs.  f() must not call
+  /// barrier()/exchange() (local phases never do).
+  template <class F>
+  void timed(Phase phase, F&& f) {
+    timed_lock();
+    const double t0 = now_us();
+    f();
+    const double dt = now_us() - t0;
+    timed_unlock();
+    charge(phase, dt * cpu_scale());
+  }
+
+  [[nodiscard]] double cpu_scale() const;
+
+  /// Add `us` microseconds to this VP's clock under `phase`.
+  void charge(Phase phase, double us);
+
+  /// All-to-all exchange.  payloads[i] goes to send_peers[i]; a self
+  /// entry is kept locally (not transmitted, not charged).  Returns the
+  /// payloads received from recv_peers, in that order.  Charges transfer
+  /// time per the machine's message mode and updates CommStats.
+  std::vector<std::vector<std::uint32_t>> exchange(
+      std::span<const std::uint64_t> send_peers,
+      std::vector<std::vector<std::uint32_t>> payloads,
+      std::span<const std::uint64_t> recv_peers);
+
+  /// Pairwise exchange (Blocked-Merge style): send `payload` to partner,
+  /// receive its payload.  Equivalent to exchange() with one peer.
+  std::vector<std::uint32_t> exchange_with(std::uint64_t partner,
+                                           std::vector<std::uint32_t> payload);
+
+  [[nodiscard]] double clock_us() const { return clock_us_; }
+  [[nodiscard]] const CommStats& comm() const { return comm_; }
+  [[nodiscard]] const PhaseBreakdown& phases() const { return phases_; }
+
+  /// Monotonic clock in microseconds.
+  static double now_us();
+
+ private:
+  void timed_lock();
+  void timed_unlock();
+
+  friend class Machine;
+  Proc(Machine& m, int rank, int nprocs) : machine_(m), rank_(rank), nprocs_(nprocs) {}
+
+  Machine& machine_;
+  int rank_;
+  int nprocs_;
+  double clock_us_ = 0;
+  PhaseBreakdown phases_;
+  CommStats comm_;
+};
+
+/// The machine: P virtual processors, a LogGP parameter set and a message
+/// mode.  run() executes an SPMD program on all VPs and reports simulated
+/// times.
+class Machine {
+ public:
+  /// `cpu_scale` multiplies every measured compute time before charging
+  /// it to the simulated clock: 1.0 models "this host's cores", larger
+  /// values model proportionally slower processors.
+  Machine(int nprocs, loggp::Params params, MessageMode mode, double cpu_scale = 1.0);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] MessageMode mode() const { return mode_; }
+  [[nodiscard]] const loggp::Params& params() const { return params_; }
+
+  /// Execute `program` on every VP (SPMD).  Blocks until all finish.
+  RunReport run(const std::function<void(Proc&)>& program);
+
+ private:
+  friend class Proc;
+  struct Impl;
+  int nprocs_;
+  loggp::Params params_;
+  MessageMode mode_;
+  double cpu_scale_;
+  Impl* impl_;
+};
+
+}  // namespace bsort::simd

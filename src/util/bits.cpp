@@ -1,0 +1,5 @@
+#include "util/bits.hpp"
+
+// All helpers are constexpr in the header; this TU exists so the module has
+// a home for future non-inline additions and keeps the library target well
+// formed.

@@ -1,0 +1,61 @@
+// Bit-manipulation helpers shared by the layout / network / schedule code.
+//
+// The bitonic sorting network identifies every key by its "absolute
+// address" (the row of the network it started in), and all layout math in
+// the paper is expressed as operations on the bits of that address.  These
+// helpers keep those operations explicit and assert-checked.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace bsort::util {
+
+/// True iff x is a (nonzero) power of two.
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Exact base-2 logarithm of a power of two.
+constexpr int ilog2(std::uint64_t x) noexcept {
+  assert(is_pow2(x));
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// Bit i (0 = least significant) of x, as 0 or 1.
+constexpr std::uint64_t bit(std::uint64_t x, int i) noexcept {
+  return (x >> i) & 1u;
+}
+
+/// x with bit i set to v (v must be 0 or 1).
+constexpr std::uint64_t with_bit(std::uint64_t x, int i, std::uint64_t v) noexcept {
+  assert(v <= 1);
+  return (x & ~(std::uint64_t{1} << i)) | (v << i);
+}
+
+/// Mask with the low `count` bits set.
+constexpr std::uint64_t low_mask(int count) noexcept {
+  return count >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << count) - 1;
+}
+
+/// Extract `count` bits of x starting at bit `from` (inclusive).
+constexpr std::uint64_t bit_field(std::uint64_t x, int from, int count) noexcept {
+  return (x >> from) & low_mask(count);
+}
+
+/// Number of set bits.
+constexpr int popcount64(std::uint64_t x) noexcept {
+  int c = 0;
+  while (x != 0) {
+    x &= x - 1;
+    ++c;
+  }
+  return c;
+}
+
+}  // namespace bsort::util

@@ -1,0 +1,33 @@
+#include "util/random.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bsort::util {
+
+std::vector<std::uint32_t> generate_keys(std::size_t count, KeyDistribution dist,
+                                         std::uint64_t seed) {
+  std::vector<std::uint32_t> keys(count);
+  SplitMix64 rng(seed);
+  switch (dist) {
+    case KeyDistribution::kUniform31:
+      for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next() & 0x7FFFFFFFu);
+      break;
+    case KeyDistribution::kLowEntropy:
+      // 16 distinct values: worst case for splitter-based partitioning.
+      for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next() & 0xFu) * 1000u;
+      break;
+    case KeyDistribution::kSorted:
+      std::iota(keys.begin(), keys.end(), 0u);
+      break;
+    case KeyDistribution::kReversed:
+      std::iota(keys.rbegin(), keys.rend(), 0u);
+      break;
+    case KeyDistribution::kConstant:
+      std::fill(keys.begin(), keys.end(), 42u);
+      break;
+  }
+  return keys;
+}
+
+}  // namespace bsort::util

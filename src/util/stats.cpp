@@ -1,0 +1,37 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace bsort::util {
+
+double mean(std::span<const double> xs) {
+  assert(!xs.empty());
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double min_of(std::span<const double> xs) {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) {
+  assert(!xs.empty());
+  std::vector<double> v(xs.begin(), xs.end());
+  auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+  std::nth_element(v.begin(), mid, v.end());
+  if (v.size() % 2 == 1) return *mid;
+  double hi = *mid;
+  double lo = *std::max_element(v.begin(), mid);
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace bsort::util

@@ -1,0 +1,16 @@
+// Small statistics helpers for the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace bsort::util {
+
+double mean(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Median of a copy of xs (xs itself is not modified).
+double median(std::span<const double> xs);
+
+}  // namespace bsort::util

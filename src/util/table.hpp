@@ -1,0 +1,28 @@
+// ASCII table printer used by the benchmark harness to emit rows in the
+// same shape as the thesis' Tables 5.1-5.4 and Figures 5.1-5.8.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsort::util {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with `prec` digits after the decimal point.
+  static std::string fmt(double v, int prec = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bsort::util

@@ -1,0 +1,107 @@
+#include "api/parallel_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.hpp"
+
+namespace bsort::api {
+namespace {
+
+class ApiAlgorithmTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ApiAlgorithmTest, SortsEndToEnd) {
+  Config cfg;
+  cfg.nprocs = 8;
+  cfg.algorithm = GetParam();
+  auto keys = util::generate_keys(1u << 12, util::KeyDistribution::kUniform31, 7);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  ASSERT_TRUE(config_valid(cfg, keys.size()));
+  const auto outcome = parallel_sort(keys, cfg);
+  EXPECT_TRUE(outcome.sorted);
+  EXPECT_EQ(keys, want);
+  EXPECT_GT(outcome.report.makespan_us, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ApiAlgorithmTest,
+    ::testing::Values(Algorithm::kSmartBitonic, Algorithm::kCyclicBlockedBitonic,
+                      Algorithm::kBlockedMergeBitonic, Algorithm::kNaiveBitonic,
+                      Algorithm::kParallelRadix, Algorithm::kSampleSort,
+                      Algorithm::kColumnSort),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string name(algorithm_name(info.param));
+      for (auto& c : name) {
+        if (c == '/' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ApiConfig, ValidityRules) {
+  Config cfg;
+  cfg.nprocs = 8;
+  cfg.algorithm = Algorithm::kSmartBitonic;
+  EXPECT_TRUE(config_valid(cfg, 1u << 12));
+  EXPECT_FALSE(config_valid(cfg, (1u << 12) + 1));  // not a power of two
+  EXPECT_FALSE(config_valid(cfg, 8));               // n = 1 < 2
+  cfg.nprocs = 7;
+  EXPECT_FALSE(config_valid(cfg, 1u << 12));  // P not a power of two
+
+  cfg.nprocs = 16;
+  cfg.algorithm = Algorithm::kCyclicBlockedBitonic;
+  EXPECT_FALSE(config_valid(cfg, 1u << 7));  // N < P^2
+  EXPECT_TRUE(config_valid(cfg, 1u << 8));
+
+  cfg.algorithm = Algorithm::kColumnSort;
+  EXPECT_FALSE(config_valid(cfg, 1u << 12));  // n = 256 < 2*15^2
+  EXPECT_TRUE(config_valid(cfg, 1u << 13));
+}
+
+TEST(ApiConfig, SampleSortMayRebalance) {
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.algorithm = Algorithm::kSampleSort;
+  auto keys = util::generate_keys(1u << 10, util::KeyDistribution::kLowEntropy, 5);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  const auto outcome = parallel_sort(keys, cfg);
+  EXPECT_TRUE(outcome.sorted);
+  EXPECT_EQ(keys, want);  // total content preserved even when imbalanced
+}
+
+TEST(ApiConfig, ShortMessageModeWorks) {
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.mode = simd::MessageMode::kShort;
+  auto keys = util::generate_keys(1u << 10, util::KeyDistribution::kUniform31, 3);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  const auto outcome = parallel_sort(keys, cfg);
+  EXPECT_TRUE(outcome.sorted);
+  EXPECT_EQ(keys, want);
+}
+
+TEST(ApiConfig, CpuScaleScalesComputeTime) {
+  Config cfg;
+  cfg.nprocs = 2;
+  auto keys1 = util::generate_keys(1u << 14, util::KeyDistribution::kUniform31, 9);
+  auto keys2 = keys1;
+  cfg.cpu_scale = 1.0;
+  const auto r1 = parallel_sort(keys1, cfg);
+  cfg.cpu_scale = 100.0;
+  const auto r2 = parallel_sort(keys2, cfg);
+  // Compute time should grow by roughly the scale factor (allow wide
+  // tolerance for measurement noise).
+  EXPECT_GT(r2.report.critical_phases().compute(),
+            10 * r1.report.critical_phases().compute());
+}
+
+TEST(ApiNames, AllDistinct) {
+  EXPECT_EQ(algorithm_name(Algorithm::kSmartBitonic), "bitonic/smart");
+  EXPECT_EQ(algorithm_name(Algorithm::kColumnSort), "column");
+}
+
+}  // namespace
+}  // namespace bsort::api

@@ -1,0 +1,55 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsort::util {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Bits, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(ilog2(1ULL << 52), 52);
+}
+
+TEST(Bits, BitAccess) {
+  EXPECT_EQ(bit(0b1010, 0), 0u);
+  EXPECT_EQ(bit(0b1010, 1), 1u);
+  EXPECT_EQ(bit(0b1010, 3), 1u);
+  EXPECT_EQ(bit(0b1010, 4), 0u);
+}
+
+TEST(Bits, WithBit) {
+  EXPECT_EQ(with_bit(0b1010, 0, 1), 0b1011u);
+  EXPECT_EQ(with_bit(0b1010, 1, 0), 0b1000u);
+  EXPECT_EQ(with_bit(0b1010, 1, 1), 0b1010u);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(3), 0b111u);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, BitField) {
+  EXPECT_EQ(bit_field(0b110100, 2, 3), 0b101u);
+  EXPECT_EQ(bit_field(0xFF00, 8, 8), 0xFFu);
+}
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(0b1011), 3);
+  EXPECT_EQ(popcount64(~std::uint64_t{0}), 64);
+}
+
+}  // namespace
+}  // namespace bsort::util

@@ -1,0 +1,75 @@
+#include "loggp/choose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schedule/formulas.hpp"
+
+namespace bsort::loggp {
+namespace {
+
+TEST(Choose, SmartWinsUnderShortMessages) {
+  // Section 3.4.2: with short messages the smart strategy minimizes all
+  // metrics, so it must be chosen across realistic shapes.
+  const auto p = meiko_cs2();
+  for (const std::uint64_t P : {4u, 16u, 64u}) {
+    for (const std::uint64_t n : {1u << 14, 1u << 17, 1u << 20}) {
+      EXPECT_EQ(choose_strategy(p, n, P, /*use_long_messages=*/false),
+                Strategy::kSmart);
+    }
+  }
+}
+
+TEST(Choose, BlockedCanWinWithLongMessagesOnFewProcs) {
+  // Section 3.4.3: "for a small number of processors, for example P=2 we
+  // have only one communication step and we send only one message per
+  // processor and usually we achieve the best communication time".
+  const auto p = meiko_cs2();
+  EXPECT_EQ(choose_strategy(p, 1u << 20, 2, /*use_long_messages=*/true),
+            Strategy::kBlocked);
+}
+
+TEST(Choose, SmartWinsWithLongMessagesOnManyProcs) {
+  // With many processors the blocked strategy's volume (n * lgP(lgP+1)/2)
+  // dominates even with few messages.
+  const auto p = meiko_cs2();
+  EXPECT_EQ(choose_strategy(p, 1u << 18, 64, /*use_long_messages=*/true),
+            Strategy::kSmart);
+}
+
+TEST(Choose, CyclicBlockedSkippedWhenInadmissible) {
+  // n < P violates N >= P^2: the chooser must never return it.
+  const auto p = meiko_cs2();
+  for (const std::uint64_t n : {2u, 4u, 8u}) {
+    const auto s = choose_strategy(p, n, 16, true);
+    EXPECT_NE(s, Strategy::kCyclicBlocked);
+  }
+}
+
+TEST(Choose, PredictionsMatchComponentFormulas) {
+  const auto p = meiko_cs2();
+  const auto pred = predict(Strategy::kSmart, p, 1u << 17, 32);
+  EXPECT_EQ(pred.metrics.remaps, schedule::smart_remap_count(17, 5));
+  EXPECT_EQ(pred.metrics.elements, schedule::smart_volume_per_proc(17, 5));
+  EXPECT_EQ(pred.metrics.messages, schedule::smart_messages_per_proc(17, 5));
+  EXPECT_GT(pred.time_short_us, pred.time_long_us);
+}
+
+TEST(Choose, SmartMessagesFormulaBoundsSection343) {
+  // The exact per-processor message count is at least the thesis' lower
+  // bound 3(P-1) - lgP in the usual regime.
+  for (int log_p = 2; log_p <= 6; ++log_p) {
+    const int log_n = log_p * (log_p + 1) / 2 + 1;
+    const std::uint64_t P = std::uint64_t{1} << log_p;
+    EXPECT_GE(schedule::smart_messages_per_proc(log_n, log_p),
+              3 * (P - 1) - static_cast<std::uint64_t>(log_p));
+  }
+}
+
+TEST(Choose, Names) {
+  EXPECT_EQ(strategy_name(Strategy::kBlocked), "blocked");
+  EXPECT_EQ(strategy_name(Strategy::kCyclicBlocked), "cyclic-blocked");
+  EXPECT_EQ(strategy_name(Strategy::kSmart), "smart");
+}
+
+}  // namespace
+}  // namespace bsort::loggp

@@ -1,0 +1,108 @@
+#include "localsort/compare_exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "layout/bit_layout.hpp"
+#include "net/network.hpp"
+#include "schedule/smart_schedule.hpp"
+#include "util/random.hpp"
+
+namespace bsort::localsort {
+namespace {
+
+using layout::BitLayout;
+
+/// Scatter a full array (indexed by absolute address) into per-processor
+/// views under `lay`.
+std::vector<std::vector<std::uint32_t>> scatter(const std::vector<std::uint32_t>& full,
+                                                const BitLayout& lay) {
+  std::vector<std::vector<std::uint32_t>> views(
+      lay.proc_count(), std::vector<std::uint32_t>(lay.local_size()));
+  for (std::uint64_t abs = 0; abs < full.size(); ++abs) {
+    views[lay.proc_of(abs)][lay.local_of(abs)] = full[abs];
+  }
+  return views;
+}
+
+std::vector<std::uint32_t> gather(const std::vector<std::vector<std::uint32_t>>& views,
+                                  const BitLayout& lay) {
+  std::vector<std::uint32_t> full(views.size() * views[0].size());
+  for (std::uint64_t pr = 0; pr < views.size(); ++pr) {
+    for (std::uint64_t l = 0; l < views[pr].size(); ++l) {
+      full[lay.abs_of(pr, l)] = views[pr][l];
+    }
+  }
+  return full;
+}
+
+/// For every (stage, step) whose compare bit is local under `lay`,
+/// executing the step locally on every processor must equal the reference
+/// step on the full array.
+void check_layout_steps(const BitLayout& lay) {
+  const std::uint64_t N = std::uint64_t{1} << lay.log_total();
+  auto full = util::generate_keys(N, util::KeyDistribution::kUniform31, N + 3);
+  const int stages = lay.log_total();
+  for (int stage = 1; stage <= stages; ++stage) {
+    for (int step = stage; step >= 1; --step) {
+      if (!lay.is_local_bit(step - 1)) {
+        // Keep the full-array state advancing regardless.
+        net::reference_step(std::span<std::uint32_t>(full.data(), N), stage, step);
+        continue;
+      }
+      auto views = scatter(full, lay);
+      for (std::uint64_t pr = 0; pr < views.size(); ++pr) {
+        local_network_step(lay, pr,
+                           std::span<std::uint32_t>(views[pr].data(), views[pr].size()),
+                           stage, step);
+      }
+      net::reference_step(std::span<std::uint32_t>(full.data(), N), stage, step);
+      EXPECT_EQ(gather(views, lay), full) << "stage " << stage << " step " << step;
+    }
+  }
+}
+
+TEST(CompareExchange, BlockedLayoutLocalSteps) {
+  check_layout_steps(BitLayout::blocked(3, 2));
+  check_layout_steps(BitLayout::blocked(4, 2));
+}
+
+TEST(CompareExchange, CyclicLayoutLocalSteps) {
+  check_layout_steps(BitLayout::cyclic(3, 2));
+  check_layout_steps(BitLayout::cyclic(4, 3));
+}
+
+TEST(CompareExchange, SmartLayoutsAlongSchedule) {
+  for (auto [log_n, log_p] : {std::pair{3, 2}, {4, 3}, {2, 3}}) {
+    const auto sched = schedule::make_smart_schedule(log_n, log_p);
+    for (const auto& phase : sched.remaps) {
+      check_layout_steps(phase.layout);
+      if (phase.params.kind == layout::SmartKind::kCrossing) {
+        check_layout_steps(layout::BitLayout::smart_phase2(log_n, log_p, phase.params));
+      }
+    }
+  }
+}
+
+TEST(CompareExchange, MultiStepWalkMatchesReference) {
+  // Executing a window of steps with local_network_steps equals executing
+  // them one by one on the reference array.
+  const auto lay = BitLayout::blocked(4, 1);  // everything local on 2 procs
+  const std::uint64_t N = 32;
+  auto full = util::generate_keys(N, util::KeyDistribution::kUniform31, 21);
+  auto views = scatter(full, lay);
+  // Steps 1..4 of stage 4 (start of stage 4 through its end).
+  for (std::uint64_t pr = 0; pr < views.size(); ++pr) {
+    // First run the earlier stages so the data structure is realistic.
+    local_network_steps(lay, pr, std::span<std::uint32_t>(views[pr].data(), 16), 1, 1,
+                        1 + 2 + 3 + 4);
+  }
+  for (int stage = 1; stage <= 4; ++stage) {
+    net::reference_stage(std::span<std::uint32_t>(full.data(), N), stage);
+  }
+  EXPECT_EQ(gather(views, lay), full);
+}
+
+}  // namespace
+}  // namespace bsort::localsort

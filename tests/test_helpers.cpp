@@ -1,0 +1,39 @@
+#include "test_helpers.hpp"
+
+#include <cassert>
+
+#include "loggp/params.hpp"
+
+namespace bsort::testing {
+
+simd::RunReport run_blocked_spmd(
+    std::vector<std::uint32_t>& keys, int nprocs, simd::MessageMode mode,
+    const std::function<void(simd::Proc&, std::span<std::uint32_t>)>& body) {
+  assert(keys.size() % static_cast<std::size_t>(nprocs) == 0);
+  const std::size_t n = keys.size() / static_cast<std::size_t>(nprocs);
+  simd::Machine machine(nprocs, loggp::meiko_cs2(), mode);
+  return machine.run([&](simd::Proc& p) {
+    body(p, std::span<std::uint32_t>(keys.data() + static_cast<std::size_t>(p.rank()) * n, n));
+  });
+}
+
+std::vector<std::uint32_t> run_vector_spmd(
+    const std::vector<std::uint32_t>& keys, int nprocs, simd::MessageMode mode,
+    const std::function<void(simd::Proc&, std::vector<std::uint32_t>&)>& body) {
+  assert(keys.size() % static_cast<std::size_t>(nprocs) == 0);
+  const std::size_t n = keys.size() / static_cast<std::size_t>(nprocs);
+  std::vector<std::vector<std::uint32_t>> slices(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    slices[static_cast<std::size_t>(r)].assign(
+        keys.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r) * n),
+        keys.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r + 1) * n));
+  }
+  simd::Machine machine(nprocs, loggp::meiko_cs2(), mode);
+  machine.run([&](simd::Proc& p) { body(p, slices[static_cast<std::size_t>(p.rank())]); });
+  std::vector<std::uint32_t> out;
+  out.reserve(keys.size());
+  for (const auto& s : slices) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+}  // namespace bsort::testing

@@ -1,0 +1,127 @@
+// Cross-module integration tests: all sorts agree; reports are sane;
+// short vs long message modes produce identical data movement but
+// different charged times.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bitonic/sorts.hpp"
+#include "loggp/params.hpp"
+#include "psort/psort.hpp"
+#include "test_helpers.hpp"
+#include "util/random.hpp"
+
+namespace bsort {
+namespace {
+
+using testing::run_blocked_spmd;
+using testing::run_vector_spmd;
+
+TEST(Integration, AllSortsAgreeOnSameInput) {
+  const std::size_t N = 1u << 13;
+  const int P = 8;
+  const auto input = util::generate_keys(N, util::KeyDistribution::kUniform31, 31337);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+
+  auto a = input;
+  run_blocked_spmd(a, P, simd::MessageMode::kLong,
+                   [](simd::Proc& p, std::span<std::uint32_t> s) {
+                     bitonic::blocked_merge_sort(p, s);
+                   });
+  auto b = input;
+  run_blocked_spmd(b, P, simd::MessageMode::kLong,
+                   [](simd::Proc& p, std::span<std::uint32_t> s) {
+                     bitonic::cyclic_blocked_sort(p, s);
+                   });
+  auto c = input;
+  run_blocked_spmd(c, P, simd::MessageMode::kLong,
+                   [](simd::Proc& p, std::span<std::uint32_t> s) {
+                     bitonic::smart_sort(p, s);
+                   });
+  const auto d = run_vector_spmd(input, P, simd::MessageMode::kLong,
+                                 [](simd::Proc& p, std::vector<std::uint32_t>& keys) {
+                                   psort::parallel_radix_sort(p, keys);
+                                 });
+  const auto e = run_vector_spmd(input, P, simd::MessageMode::kLong,
+                                 [](simd::Proc& p, std::vector<std::uint32_t>& keys) {
+                                   psort::parallel_sample_sort(p, keys);
+                                 });
+  EXPECT_EQ(a, expected);
+  EXPECT_EQ(b, expected);
+  EXPECT_EQ(c, expected);
+  EXPECT_EQ(d, expected);
+  EXPECT_EQ(e, expected);
+}
+
+TEST(Integration, ShortMessagesChargeMoreThanLong) {
+  const std::size_t N = 1u << 13;
+  const int P = 8;
+  auto k1 = util::generate_keys(N, util::KeyDistribution::kUniform31, 7);
+  auto k2 = k1;
+  const auto rep_long = run_blocked_spmd(
+      k1, P, simd::MessageMode::kLong,
+      [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); });
+  const auto rep_short = run_blocked_spmd(
+      k2, P, simd::MessageMode::kShort,
+      [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); });
+  EXPECT_EQ(k1, k2);
+  // Same volume; far more messages and far more transfer time.
+  EXPECT_EQ(rep_long.total_comm().elements_sent, rep_short.total_comm().elements_sent);
+  EXPECT_GT(rep_short.total_comm().messages_sent,
+            10 * rep_long.total_comm().messages_sent);
+  EXPECT_GT(rep_short.critical_phases().transfer(),
+            5 * rep_long.critical_phases().transfer());
+}
+
+TEST(Integration, SmartTransfersLessThanCyclicBlocked) {
+  const std::size_t N = 1u << 14;
+  const int P = 16;
+  auto k1 = util::generate_keys(N, util::KeyDistribution::kUniform31, 8);
+  auto k2 = k1;
+  const auto rep_smart = run_blocked_spmd(
+      k1, P, simd::MessageMode::kLong,
+      [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); });
+  const auto rep_cb = run_blocked_spmd(
+      k2, P, simd::MessageMode::kLong,
+      [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::cyclic_blocked_sort(p, s); });
+  // Fewer communication steps and lower volume (Theorem 1 + Section 3.2.1).
+  EXPECT_LT(rep_smart.total_comm().exchanges, rep_cb.total_comm().exchanges);
+  EXPECT_LT(rep_smart.total_comm().elements_sent, rep_cb.total_comm().elements_sent);
+}
+
+TEST(Integration, ReportsHavePositivePhases) {
+  const std::size_t N = 1u << 12;
+  auto keys = util::generate_keys(N, util::KeyDistribution::kUniform31, 9);
+  const auto rep = run_blocked_spmd(
+      keys, 8, simd::MessageMode::kLong,
+      [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); });
+  EXPECT_GT(rep.makespan_us, 0.0);
+  EXPECT_GT(rep.critical_phases().compute(), 0.0);
+  EXPECT_GT(rep.critical_phases().transfer(), 0.0);
+  EXPECT_GT(rep.critical_phases().pack(), 0.0);
+  EXPECT_GT(rep.critical_phases().unpack(), 0.0);
+  for (const auto t : rep.proc_us) EXPECT_GT(t, 0.0);
+}
+
+TEST(Integration, RepeatedRunsAreDataDeterministic) {
+  const std::size_t N = 1u << 12;
+  const auto input = util::generate_keys(N, util::KeyDistribution::kUniform31, 10);
+  auto k1 = input;
+  auto k2 = input;
+  auto r1 = run_blocked_spmd(k1, 8, simd::MessageMode::kLong,
+                             [](simd::Proc& p, std::span<std::uint32_t> s) {
+                               bitonic::smart_sort(p, s);
+                             });
+  auto r2 = run_blocked_spmd(k2, 8, simd::MessageMode::kLong,
+                             [](simd::Proc& p, std::span<std::uint32_t> s) {
+                               bitonic::smart_sort(p, s);
+                             });
+  EXPECT_EQ(k1, k2);
+  // Communication counters are exactly reproducible (timing is not).
+  EXPECT_EQ(r1.total_comm().elements_sent, r2.total_comm().elements_sent);
+  EXPECT_EQ(r1.total_comm().messages_sent, r2.total_comm().messages_sent);
+}
+
+}  // namespace
+}  // namespace bsort

@@ -1,0 +1,139 @@
+#include "layout/bit_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "util/bits.hpp"
+
+namespace bsort::layout {
+namespace {
+
+void check_bijection(const BitLayout& lay) {
+  const std::uint64_t N = std::uint64_t{1} << lay.log_total();
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (std::uint64_t abs = 0; abs < N; ++abs) {
+    const auto proc = lay.proc_of(abs);
+    const auto local = lay.local_of(abs);
+    EXPECT_LT(proc, lay.proc_count());
+    EXPECT_LT(local, lay.local_size());
+    EXPECT_EQ(lay.abs_of(proc, local), abs);
+    EXPECT_TRUE(seen.emplace(proc, local).second) << "collision at abs " << abs;
+  }
+}
+
+TEST(BitLayout, BlockedMatchesDefinition4) {
+  // Key i goes to processor floor(i / n).
+  const auto lay = BitLayout::blocked(/*log_n=*/3, /*log_p=*/2);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(lay.proc_of(i), i / 8);
+    EXPECT_EQ(lay.local_of(i), i % 8);
+  }
+  check_bijection(lay);
+}
+
+TEST(BitLayout, CyclicMatchesStandardDefinition) {
+  // Key i goes to processor i mod P (Definition 5 modulo its typo).
+  const auto lay = BitLayout::cyclic(/*log_n=*/3, /*log_p=*/2);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(lay.proc_of(i), i % 4);
+    EXPECT_EQ(lay.local_of(i), i / 4);
+  }
+  check_bijection(lay);
+}
+
+TEST(BitLayout, LocalBitQueries) {
+  const auto lay = BitLayout::blocked(3, 2);
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_TRUE(lay.is_local_bit(b));
+    EXPECT_EQ(lay.local_pos_of(b), b);
+  }
+  EXPECT_FALSE(lay.is_local_bit(3));
+  EXPECT_FALSE(lay.is_local_bit(4));
+  EXPECT_EQ(lay.local_pos_of(4), -1);
+}
+
+TEST(SmartParams, Definition7Cases) {
+  const int log_n = 4, log_p = 3;
+  // Inside: s >= lg n.
+  const auto in = smart_params(log_n, log_p, /*k=*/1, /*s=*/5);
+  EXPECT_EQ(in.kind, SmartKind::kInside);
+  EXPECT_EQ(in.a, 0);
+  EXPECT_EQ(in.b, 4);
+  EXPECT_EQ(in.t, 1);
+  // Crossing: s < lg n.
+  const auto cr = smart_params(log_n, log_p, /*k=*/1, /*s=*/2);
+  EXPECT_EQ(cr.kind, SmartKind::kCrossing);
+  EXPECT_EQ(cr.a, 2);
+  EXPECT_EQ(cr.b, 2);
+  EXPECT_EQ(cr.t, 4);
+  // Last remap: k = lg P and s <= lg n.
+  const auto last = smart_params(log_n, log_p, /*k=*/log_p, /*s=*/3);
+  EXPECT_EQ(last.kind, SmartKind::kLast);
+  EXPECT_EQ(last.a, log_n);
+  EXPECT_EQ(last.b, 0);
+  EXPECT_EQ(last.t, log_n);
+}
+
+TEST(SmartLayout, BijectionAcrossParameterSweep) {
+  for (auto [log_n, log_p] : {std::pair{3, 2}, {4, 3}, {2, 4}, {5, 2}}) {
+    for (int k = 1; k <= log_p; ++k) {
+      for (int s = 1; s <= log_n + k; ++s) {
+        const auto sp = smart_params(log_n, log_p, k, s);
+        const auto lay = BitLayout::smart(log_n, log_p, sp);
+        EXPECT_EQ(lay.log_local(), log_n);
+        EXPECT_EQ(lay.log_procs(), log_p);
+        check_bijection(lay);
+        if (sp.kind == SmartKind::kCrossing) {
+          check_bijection(BitLayout::smart_phase2(log_n, log_p, sp));
+        }
+      }
+    }
+  }
+}
+
+TEST(SmartLayout, WindowBitsAreLocal) {
+  // The lg n network steps following the remap compare bits that must all
+  // be local: for an inside remap bits [t, t+lgn); for a crossing remap
+  // bits [0, a) and [t, t+b).
+  const int log_n = 4, log_p = 4;
+  for (int k = 1; k <= log_p; ++k) {
+    for (int s = 1; s <= log_n + k; ++s) {
+      const auto sp = smart_params(log_n, log_p, k, s);
+      const auto lay = BitLayout::smart(log_n, log_p, sp);
+      if (sp.kind == SmartKind::kInside) {
+        for (int b = sp.t; b < sp.t + log_n; ++b) EXPECT_TRUE(lay.is_local_bit(b));
+      } else if (sp.kind == SmartKind::kCrossing) {
+        for (int b = 0; b < sp.a; ++b) EXPECT_TRUE(lay.is_local_bit(b));
+        for (int b = sp.t; b < sp.t + sp.b; ++b) EXPECT_TRUE(lay.is_local_bit(b));
+      } else {
+        for (int b = 0; b < log_n; ++b) EXPECT_TRUE(lay.is_local_bit(b));
+      }
+    }
+  }
+}
+
+TEST(SmartLayout, LastRemapIsBlocked) {
+  const auto sp = smart_params(4, 3, 3, 2);
+  EXPECT_EQ(BitLayout::smart(4, 3, sp), BitLayout::blocked(4, 3));
+}
+
+TEST(BitLayout, ToStringPattern) {
+  const auto lay = BitLayout::blocked(2, 2);
+  EXPECT_EQ(lay.to_string(), "P1 P0 L1 L0");
+  const auto cyc = BitLayout::cyclic(2, 2);
+  EXPECT_EQ(cyc.to_string(), "L1 L0 P1 P0");
+}
+
+TEST(BitsChanged, BlockedToCyclic) {
+  // Blocked -> cyclic with lg n == lg P changes all lg P bits.
+  EXPECT_EQ(bits_changed(BitLayout::blocked(2, 2), BitLayout::cyclic(2, 2)), 2);
+  // lg n > lg P: still lg P bits change.
+  EXPECT_EQ(bits_changed(BitLayout::blocked(4, 2), BitLayout::cyclic(4, 2)), 2);
+  // No change.
+  EXPECT_EQ(bits_changed(BitLayout::blocked(4, 2), BitLayout::blocked(4, 2)), 0);
+}
+
+}  // namespace
+}  // namespace bsort::layout

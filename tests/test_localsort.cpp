@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "localsort/bitonic_merge.hpp"
+#include "localsort/pway_merge.hpp"
+#include "localsort/radix_sort.hpp"
+#include "net/network.hpp"
+#include "util/random.hpp"
+
+namespace bsort::localsort {
+namespace {
+
+TEST(RadixSort, MatchesStdSort) {
+  for (const std::size_t n : {0u, 1u, 2u, 7u, 256u, 1000u, 65536u}) {
+    auto keys = util::generate_keys(n, util::KeyDistribution::kUniform31, n + 1);
+    auto expected = keys;
+    std::sort(expected.begin(), expected.end());
+    radix_sort(keys);
+    EXPECT_EQ(keys, expected) << "n=" << n;
+  }
+}
+
+TEST(RadixSort, FullRangeKeys) {
+  // Keys using all 32 bits (beyond the thesis' 31-bit range).
+  std::vector<std::uint32_t> keys = {0xFFFFFFFFu, 0, 0x80000000u, 1, 0x7FFFFFFFu};
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  radix_sort(keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(RadixSort, Descending) {
+  auto keys = util::generate_keys(1000, util::KeyDistribution::kUniform31, 42);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end(), std::greater<>());
+  std::vector<std::uint32_t> scratch;
+  radix_sort_descending(keys, scratch);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(RadixSort, Duplicates) {
+  auto keys = util::generate_keys(4096, util::KeyDistribution::kLowEntropy, 9);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  radix_sort(keys);
+  EXPECT_EQ(keys, expected);
+}
+
+class BitonicMergeSortTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitonicMergeSortTest, SortsEveryRotation) {
+  const std::size_t n = GetParam();
+  // Build a rise-fall sequence and test every rotation of it.
+  std::vector<std::uint32_t> base(n);
+  for (std::size_t i = 0; i < n / 2; ++i) base[i] = static_cast<std::uint32_t>(2 * i);
+  for (std::size_t i = n / 2; i < n; ++i) {
+    base[i] = static_cast<std::uint32_t>(2 * (n - i) - 1);
+  }
+  auto expected = base;
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t rot = 0; rot < n; ++rot) {
+    std::vector<std::uint32_t> v(n), out(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = base[(i + rot) % n];
+    bitonic_merge_sort(v, out);
+    EXPECT_EQ(out, expected) << "rot=" << rot;
+    bitonic_merge_sort_descending(v, out);
+    std::vector<std::uint32_t> expected_desc(expected.rbegin(), expected.rend());
+    EXPECT_EQ(out, expected_desc) << "rot=" << rot;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicMergeSortTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 31, 64, 100));
+
+TEST(BitonicMergeSort, WithDuplicates) {
+  std::vector<std::uint32_t> v = {3, 3, 5, 9, 9, 9, 7, 4, 3, 3};
+  std::vector<std::uint32_t> out(v.size());
+  bitonic_merge_sort(v, out);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(out, expected);
+}
+
+TEST(BitonicMergeSort, OutputsOfReferenceStagesAreSortable) {
+  // Take bitonic sequences produced by the real network mid-run and check
+  // the merge sort handles them (integration with Lemma 7 structure).
+  const std::size_t N = 512;
+  auto data = util::generate_keys(N, util::KeyDistribution::kUniform31, 77);
+  for (int stage = 1; stage <= 9; ++stage) {
+    // At the start of `stage`, blocks of 2^stage are bitonic.
+    const std::size_t block = std::size_t{1} << stage;
+    for (std::size_t base = 0; base < N; base += block) {
+      std::vector<std::uint32_t> v(data.begin() + static_cast<std::ptrdiff_t>(base),
+                                   data.begin() + static_cast<std::ptrdiff_t>(base + block));
+      std::vector<std::uint32_t> out(block);
+      bitonic_merge_sort(v, out);
+      EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    }
+    net::reference_stage(std::span<std::uint32_t>(data.data(), N), stage);
+  }
+}
+
+TEST(BitonicMergeSort, StridedViewMatchesContiguous) {
+  // Interleave 4 bitonic sequences at stride 4 and sort each strided view;
+  // must equal sorting the gathered copies.
+  const std::size_t count = 64;
+  const std::size_t stride = 4;
+  std::vector<std::uint32_t> interleaved(count * stride);
+  std::vector<std::vector<std::uint32_t>> gathered(stride);
+  util::SplitMix64 rng(17);
+  for (std::size_t c = 0; c < stride; ++c) {
+    // rise-fall with random peak
+    std::vector<std::uint32_t> v(count);
+    const std::size_t peak = rng.next() % count;
+    std::uint32_t val = static_cast<std::uint32_t>(rng.next() % 100);
+    for (std::size_t i = 0; i <= peak; ++i) v[i] = val += 1 + rng.next() % 3;
+    for (std::size_t i = peak + 1; i < count; ++i) v[i] = val -= 1 + rng.next() % 2;
+    for (std::size_t i = 0; i < count; ++i) interleaved[i * stride + c] = v[i];
+    gathered[c] = v;
+  }
+  for (std::size_t c = 0; c < stride; ++c) {
+    std::vector<std::uint32_t> out(count), expect(count);
+    bitonic_merge_sort_strided(interleaved.data(), c, stride, count, out.data(), true);
+    bitonic_merge_sort(gathered[c], expect);
+    EXPECT_EQ(out, expect) << "column " << c;
+    bitonic_merge_sort_strided(interleaved.data(), c, stride, count, out.data(), false);
+    bitonic_merge_sort_descending(gathered[c], expect);
+    EXPECT_EQ(out, expect) << "column " << c << " desc";
+  }
+}
+
+TEST(PwayMerge, MixedDirections) {
+  std::vector<std::uint32_t> a = {1, 4, 7};
+  std::vector<std::uint32_t> b = {9, 6, 2};  // descending
+  std::vector<std::uint32_t> c = {3, 5, 8};
+  const localsort::Run runs[] = {{a, true}, {b, false}, {c, true}};
+  std::vector<std::uint32_t> out(9);
+  pway_merge(runs, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(PwayMerge, EmptyAndSingleRuns) {
+  std::vector<std::uint32_t> a = {5, 3, 1};  // descending
+  std::vector<std::uint32_t> empty;
+  const localsort::Run runs[] = {{a, false}, {empty, true}};
+  std::vector<std::uint32_t> out(3);
+  pway_merge(runs, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 3, 5}));
+}
+
+TEST(PwayMerge, ManyRunsRandom) {
+  util::SplitMix64 rng(5);
+  std::vector<std::vector<std::uint32_t>> data(16);
+  std::vector<localsort::Run> runs;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::size_t len = rng.next() % 50;
+    data[i].resize(len);
+    for (auto& v : data[i]) v = static_cast<std::uint32_t>(rng.next() & 0xFFFF);
+    const bool asc = (i % 2) == 0;
+    if (asc) {
+      std::sort(data[i].begin(), data[i].end());
+    } else {
+      std::sort(data[i].begin(), data[i].end(), std::greater<>());
+    }
+    runs.push_back({data[i], asc});
+    total += len;
+  }
+  std::vector<std::uint32_t> out(total);
+  pway_merge(runs, out);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  // Same multiset.
+  std::vector<std::uint32_t> all;
+  for (const auto& d : data) all.insert(all.end(), d.begin(), d.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(out, all);
+}
+
+TEST(TwoWayMerge, Basic) {
+  std::vector<std::uint32_t> a = {1, 3, 5};
+  std::vector<std::uint32_t> b = {2, 4, 6};
+  std::vector<std::uint32_t> out(6);
+  two_way_merge(a, b, out);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+}  // namespace
+}  // namespace bsort::localsort

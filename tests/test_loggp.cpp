@@ -1,0 +1,98 @@
+#include "loggp/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "loggp/params.hpp"
+
+namespace bsort::loggp {
+namespace {
+
+TEST(LogGP, ShortMessageRemapTime) {
+  const Params p{.L = 10, .o = 2, .g = 5, .G = 0.1};
+  // T = L + 2o + g (V - 1)
+  EXPECT_DOUBLE_EQ(remap_time_short(p, 1), 14.0);
+  EXPECT_DOUBLE_EQ(remap_time_short(p, 100), 14.0 + 5.0 * 99);
+  EXPECT_DOUBLE_EQ(remap_time_short(p, 0), 0.0);
+}
+
+TEST(LogGP, LongMessageRemapTime) {
+  const Params p{.L = 10, .o = 2, .g = 5, .G = 0.1};
+  // T = L + 2o + G_elem (V - M) + g (M - 1), G_elem = 4 * 0.1
+  EXPECT_DOUBLE_EQ(remap_time_long(p, 100, 4, 4), 14.0 + 0.4 * 96 + 5.0 * 3);
+  EXPECT_DOUBLE_EQ(remap_time_long(p, 1, 1, 4), 14.0);
+  EXPECT_DOUBLE_EQ(remap_time_long(p, 0, 0, 4), 0.0);
+}
+
+TEST(LogGP, TotalsEqualSumOfPerRemap) {
+  const Params p = meiko_cs2();
+  const std::uint64_t vols[] = {100, 200, 50};
+  const std::uint64_t msgs[] = {3, 7, 1};
+  double sum_short = 0, sum_long = 0;
+  std::uint64_t V = 0, M = 0;
+  for (int i = 0; i < 3; ++i) {
+    sum_short += remap_time_short(p, vols[i]);
+    sum_long += remap_time_long(p, vols[i], msgs[i], 4);
+    V += vols[i];
+    M += msgs[i];
+  }
+  EXPECT_NEAR(total_time_short(p, 3, V), sum_short, 1e-9);
+  EXPECT_NEAR(total_time_long(p, 3, V, M, 4), sum_long, 1e-9);
+}
+
+TEST(LogGP, LongBeatsShortForBulk) {
+  const Params p = meiko_cs2();
+  EXPECT_LT(remap_time_long(p, 10000, 8, 4), remap_time_short(p, 10000) / 10);
+}
+
+TEST(LogGP, StrategyMetricsSection34) {
+  // n = 2^17 keys/processor, P = 32 (the usual regime).
+  const std::uint64_t n = 1u << 17;
+  const std::uint64_t P = 32;
+  const auto blocked = blocked_metrics(n, P);
+  EXPECT_EQ(blocked.remaps, 15u);  // lgP(lgP+1)/2
+  EXPECT_EQ(blocked.elements, n * 15);
+  EXPECT_EQ(blocked.messages, 15u);
+  const auto cyclic = cyclic_blocked_metrics(n, P);
+  EXPECT_EQ(cyclic.remaps, 10u);  // 2 lg P
+  EXPECT_EQ(cyclic.elements, 2 * n * (P - 1) / P * 5);
+  EXPECT_EQ(cyclic.messages, 10u * 31u);
+  const auto smart = smart_metrics(n, P);
+  EXPECT_EQ(smart.remaps, 6u);  // lg P + 1
+  EXPECT_EQ(smart.elements, n * 5);
+  EXPECT_EQ(smart.messages, 3 * (P - 1) - 5);
+}
+
+TEST(LogGP, SmartOptimalUnderLogP) {
+  // Under short messages the smart strategy minimizes communication time
+  // among the three (Section 3.4.2).
+  const Params p = meiko_cs2();
+  const std::uint64_t n = 1u << 17;
+  const std::uint64_t P = 32;
+  const auto b = blocked_metrics(n, P);
+  const auto c = cyclic_blocked_metrics(n, P);
+  const auto s = smart_metrics(n, P);
+  const double tb = total_time_short(p, b.remaps, b.elements);
+  const double tc = total_time_short(p, c.remaps, c.elements);
+  const double ts = total_time_short(p, s.remaps, s.elements);
+  EXPECT_LT(ts, tc);
+  EXPECT_LT(tc, tb);
+}
+
+TEST(LogGP, BlockedSendsFewestLongMessages) {
+  // Section 3.4.3: with respect to message count the blocked strategy is
+  // best.
+  const std::uint64_t n = 1u << 17;
+  const std::uint64_t P = 32;
+  EXPECT_LT(blocked_metrics(n, P).messages, smart_metrics(n, P).messages);
+  EXPECT_LT(smart_metrics(n, P).messages, cyclic_blocked_metrics(n, P).messages);
+}
+
+TEST(LogGP, MeikoPreset) {
+  const auto p = meiko_cs2();
+  EXPECT_GT(p.g, p.o);
+  EXPECT_GT(p.L, 0);
+  EXPECT_LT(p.G_per_element(4), p.g);  // long messages pay less per key
+}
+
+}  // namespace
+}  // namespace bsort::loggp

@@ -1,0 +1,143 @@
+#include "simd/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "loggp/cost.hpp"
+#include "loggp/params.hpp"
+
+namespace bsort::simd {
+namespace {
+
+TEST(Machine, RunsAllProcs) {
+  Machine m(8, loggp::meiko_cs2(), MessageMode::kLong);
+  std::atomic<int> count{0};
+  std::vector<int> ranks(8, -1);
+  m.run([&](Proc& p) {
+    ranks[static_cast<std::size_t>(p.rank())] = p.rank();
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 8);
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(ranks[static_cast<std::size_t>(r)], r);
+}
+
+TEST(Machine, BarrierSyncsClocks) {
+  Machine m(4, loggp::meiko_cs2(), MessageMode::kLong);
+  auto rep = m.run([&](Proc& p) {
+    p.charge(Phase::kCompute, static_cast<double>(p.rank()) * 100.0);
+    p.barrier();
+    // After the barrier every clock equals the max charged (300us).
+    EXPECT_DOUBLE_EQ(p.clock_us(), 300.0);
+  });
+  EXPECT_DOUBLE_EQ(rep.makespan_us, 300.0);
+}
+
+TEST(Machine, ExchangeDeliversPayloads) {
+  const int P = 4;
+  Machine m(P, loggp::meiko_cs2(), MessageMode::kLong);
+  m.run([&](Proc& p) {
+    // Everyone sends its rank repeated (rank+1) times to every peer.
+    std::vector<std::uint64_t> peers(P);
+    std::iota(peers.begin(), peers.end(), 0);
+    std::vector<std::vector<std::uint32_t>> payloads(P);
+    for (int d = 0; d < P; ++d) {
+      payloads[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>(p.rank()) + 1, static_cast<std::uint32_t>(p.rank()));
+    }
+    auto rec = p.exchange(peers, std::move(payloads), peers);
+    for (int s = 0; s < P; ++s) {
+      if (s == p.rank()) continue;  // self slot is empty by contract
+      ASSERT_EQ(rec[static_cast<std::size_t>(s)].size(), static_cast<std::size_t>(s) + 1);
+      for (const auto v : rec[static_cast<std::size_t>(s)]) {
+        EXPECT_EQ(v, static_cast<std::uint32_t>(s));
+      }
+    }
+  });
+}
+
+TEST(Machine, ExchangeWithPartner) {
+  Machine m(2, loggp::meiko_cs2(), MessageMode::kLong);
+  m.run([&](Proc& p) {
+    std::vector<std::uint32_t> payload{static_cast<std::uint32_t>(p.rank() + 10)};
+    auto got = p.exchange_with(static_cast<std::uint64_t>(1 - p.rank()), std::move(payload));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], static_cast<std::uint32_t>((1 - p.rank()) + 10));
+  });
+}
+
+TEST(Machine, LongModeChargesLogGPFormula) {
+  const auto params = loggp::meiko_cs2();
+  Machine m(2, params, MessageMode::kLong);
+  auto rep = m.run([&](Proc& p) {
+    std::vector<std::uint32_t> payload(100, 1);
+    p.exchange_with(static_cast<std::uint64_t>(1 - p.rank()), std::move(payload));
+  });
+  const double expected = loggp::remap_time_long(params, 100, 1, 4);
+  for (const auto& ph : rep.proc_phases) {
+    EXPECT_NEAR(ph.transfer(), expected, 1e-9);
+  }
+  const auto comm = rep.total_comm();
+  EXPECT_EQ(comm.exchanges, 1u);
+  EXPECT_EQ(comm.elements_sent, 200u);
+  EXPECT_EQ(comm.messages_sent, 2u);
+}
+
+TEST(Machine, ShortModeChargesPerElement) {
+  const auto params = loggp::meiko_cs2();
+  Machine m(2, params, MessageMode::kShort);
+  auto rep = m.run([&](Proc& p) {
+    std::vector<std::uint32_t> payload(50, 1);
+    p.exchange_with(static_cast<std::uint64_t>(1 - p.rank()), std::move(payload));
+  });
+  const double expected = loggp::remap_time_short(params, 50);
+  for (const auto& ph : rep.proc_phases) {
+    EXPECT_NEAR(ph.transfer(), expected, 1e-9);
+  }
+  EXPECT_EQ(rep.total_comm().messages_sent, 100u);  // one message per key
+}
+
+TEST(Machine, TimedChargesCpuTime) {
+  Machine m(2, loggp::meiko_cs2(), MessageMode::kLong);
+  auto rep = m.run([&](Proc& p) {
+    volatile double sink = 0;
+    p.timed(Phase::kCompute, [&] {
+      double acc = 0;
+      for (int i = 0; i < 2000000; ++i) acc += static_cast<double>(i);
+      sink = acc;
+    });
+  });
+  for (const auto& ph : rep.proc_phases) {
+    EXPECT_GT(ph.compute(), 0.0);
+    EXPECT_DOUBLE_EQ(ph.pack(), 0.0);
+  }
+}
+
+TEST(Machine, SingleProcNoDeadlock) {
+  Machine m(1, loggp::meiko_cs2(), MessageMode::kLong);
+  auto rep = m.run([&](Proc& p) {
+    p.barrier();
+    p.barrier();
+    p.charge(Phase::kCompute, 5.0);
+  });
+  EXPECT_DOUBLE_EQ(rep.makespan_us, 5.0);
+}
+
+TEST(Machine, ReportCriticalPhases) {
+  Machine m(3, loggp::meiko_cs2(), MessageMode::kLong);
+  auto rep = m.run([&](Proc& p) {
+    p.charge(Phase::kCompute, p.rank() == 2 ? 99.0 : 1.0);
+  });
+  EXPECT_DOUBLE_EQ(rep.makespan_us, 99.0);
+  EXPECT_DOUBLE_EQ(rep.critical_phases().compute(), 99.0);
+}
+
+TEST(Machine, ExceptionPropagates) {
+  Machine m(1, loggp::meiko_cs2(), MessageMode::kLong);
+  EXPECT_THROW(m.run([&](Proc&) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bsort::simd

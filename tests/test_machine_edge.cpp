@@ -1,0 +1,132 @@
+// Edge cases of the simulated machine: asymmetric exchanges, empty
+// payloads, repeated barriers, clock monotonicity, cpu scaling.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "loggp/params.hpp"
+#include "simd/machine.hpp"
+
+namespace bsort::simd {
+namespace {
+
+TEST(MachineEdge, AsymmetricExchange) {
+  // A ring: everyone sends only to (rank+1) % P and receives only from
+  // (rank-1+P) % P — send and receive peer sets differ.
+  const int P = 4;
+  Machine m(P, loggp::meiko_cs2(), MessageMode::kLong);
+  m.run([&](Proc& p) {
+    const auto next = static_cast<std::uint64_t>((p.rank() + 1) % P);
+    const auto prev = static_cast<std::uint64_t>((p.rank() + P - 1) % P);
+    std::vector<std::uint64_t> send{next};
+    std::vector<std::uint64_t> recv{prev};
+    std::vector<std::vector<std::uint32_t>> payloads(1);
+    payloads[0] = {static_cast<std::uint32_t>(p.rank() * 100)};
+    auto got = p.exchange(send, std::move(payloads), recv);
+    ASSERT_EQ(got.size(), 1u);
+    ASSERT_EQ(got[0].size(), 1u);
+    EXPECT_EQ(got[0][0], static_cast<std::uint32_t>(prev * 100));
+  });
+}
+
+TEST(MachineEdge, EmptySendStillReceives) {
+  // Rank 0 broadcasts; everyone else sends nothing.
+  const int P = 4;
+  Machine m(P, loggp::meiko_cs2(), MessageMode::kLong);
+  m.run([&](Proc& p) {
+    if (p.rank() == 0) {
+      std::vector<std::uint64_t> send{1, 2, 3};
+      std::vector<std::vector<std::uint32_t>> payloads(3, {7u});
+      std::vector<std::uint64_t> recv;
+      p.exchange(send, std::move(payloads), recv);
+    } else {
+      std::vector<std::uint64_t> send;
+      std::vector<std::uint64_t> recv{0};
+      auto got = p.exchange(send, {}, recv);
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0], (std::vector<std::uint32_t>{7u}));
+    }
+  });
+}
+
+TEST(MachineEdge, ZeroElementExchangeChargesNothing) {
+  Machine m(2, loggp::meiko_cs2(), MessageMode::kLong);
+  auto rep = m.run([&](Proc& p) {
+    std::vector<std::uint64_t> none;
+    p.exchange(none, {}, none);
+  });
+  for (const auto& ph : rep.proc_phases) {
+    EXPECT_DOUBLE_EQ(ph.transfer(), 0.0);
+  }
+  EXPECT_EQ(rep.total_comm().elements_sent, 0u);
+}
+
+TEST(MachineEdge, ManyBarriersKeepClocksConsistent) {
+  const int P = 8;
+  Machine m(P, loggp::meiko_cs2(), MessageMode::kLong);
+  auto rep = m.run([&](Proc& p) {
+    for (int i = 0; i < 100; ++i) {
+      p.charge(Phase::kCompute, p.rank() == i % P ? 1.0 : 0.0);
+      p.barrier();
+    }
+  });
+  // Exactly one VP charged 1us before each of the 100 barriers; after
+  // max-sync all clocks agree at 100us.
+  for (const double t : rep.proc_us) EXPECT_DOUBLE_EQ(t, 100.0);
+}
+
+TEST(MachineEdge, ClockIsMonotoneThroughExchanges) {
+  Machine m(4, loggp::meiko_cs2(), MessageMode::kShort);
+  m.run([&](Proc& p) {
+    double last = p.clock_us();
+    for (int round = 0; round < 5; ++round) {
+      std::vector<std::uint64_t> peers{static_cast<std::uint64_t>((p.rank() + 1) % 4)};
+      std::vector<std::uint64_t> from{static_cast<std::uint64_t>((p.rank() + 3) % 4)};
+      std::vector<std::vector<std::uint32_t>> payloads(1,
+                                                       std::vector<std::uint32_t>(10, 1));
+      p.exchange(peers, std::move(payloads), from);
+      EXPECT_GE(p.clock_us(), last);
+      last = p.clock_us();
+    }
+  });
+}
+
+TEST(MachineEdge, CpuScaleMultipliesCharges) {
+  Machine m(1, loggp::meiko_cs2(), MessageMode::kLong, 50.0);
+  auto rep = m.run([&](Proc& p) {
+    p.timed(Phase::kCompute, [] {
+      volatile double sink = 0;
+      double acc = 0;
+      for (int i = 0; i < 500000; ++i) acc += static_cast<double>(i);
+      sink = acc;
+      (void)sink;
+    });
+  });
+  Machine m1(1, loggp::meiko_cs2(), MessageMode::kLong, 1.0);
+  auto rep1 = m1.run([&](Proc& p) {
+    p.timed(Phase::kCompute, [] {
+      volatile double sink = 0;
+      double acc = 0;
+      for (int i = 0; i < 500000; ++i) acc += static_cast<double>(i);
+      sink = acc;
+      (void)sink;
+    });
+  });
+  EXPECT_GT(rep.makespan_us, 5 * rep1.makespan_us);
+}
+
+TEST(MachineEdge, SequentialRunsReuseMachineState) {
+  // Two runs on the same Machine must not leak mailbox state.
+  Machine m(2, loggp::meiko_cs2(), MessageMode::kLong);
+  for (int round = 0; round < 3; ++round) {
+    m.run([&](Proc& p) {
+      auto got = p.exchange_with(static_cast<std::uint64_t>(1 - p.rank()),
+                                 {static_cast<std::uint32_t>(round)});
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0], static_cast<std::uint32_t>(round));
+    });
+  }
+}
+
+}  // namespace
+}  // namespace bsort::simd

@@ -1,0 +1,114 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/sequence.hpp"
+#include "util/bits.hpp"
+#include "util/random.hpp"
+
+namespace bsort::net {
+namespace {
+
+TEST(Network, KeepsMinRule) {
+  // Final stage (bit `stage` of every row is 0): the low partner of each
+  // pair keeps the min.
+  EXPECT_TRUE(keeps_min(0b000, /*stage=*/3, /*step=*/1));
+  EXPECT_FALSE(keeps_min(0b001, 3, 1));
+  // Stage 1 alternates with bit 1 of the row.
+  EXPECT_TRUE(keeps_min(0b00, 1, 1));   // row 0: ascending merge
+  EXPECT_FALSE(keeps_min(0b01, 1, 1));  // row 1: ascending, has compare bit 1
+  EXPECT_FALSE(keeps_min(0b10, 1, 1));  // row 2: descending merge
+  EXPECT_TRUE(keeps_min(0b11, 1, 1));
+}
+
+TEST(Network, SortsExhaustiveSmall) {
+  // All 2^8 bit patterns for N=8.
+  for (unsigned pattern = 0; pattern < 256; ++pattern) {
+    std::vector<std::uint32_t> data(8);
+    for (int i = 0; i < 8; ++i) data[static_cast<std::size_t>(i)] = (pattern >> i) & 1u;
+    reference_sort(data);
+    EXPECT_TRUE(std::is_sorted(data.begin(), data.end())) << "pattern " << pattern;
+  }
+}
+
+TEST(Network, SortsRandomSizes) {
+  for (const std::size_t n : {1u, 2u, 4u, 16u, 64u, 256u, 1024u}) {
+    auto data = util::generate_keys(n, util::KeyDistribution::kUniform31, n);
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    reference_sort(data);
+    EXPECT_EQ(data, expected) << "n=" << n;
+  }
+}
+
+TEST(Network, SortsDuplicates) {
+  auto data = util::generate_keys(256, util::KeyDistribution::kLowEntropy, 3);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  reference_sort(data);
+  EXPECT_EQ(data, expected);
+}
+
+// Lemma 6: the input of stage k consists of 2^(lgN-k+1) alternating
+// sorted sequences of length 2^(k-1).
+TEST(Network, Lemma6StageInputStructure) {
+  const std::size_t N = 256;
+  auto data = util::generate_keys(N, util::KeyDistribution::kUniform31, 11);
+  const int stages = util::ilog2(N);
+  for (int stage = 1; stage <= stages; ++stage) {
+    // Check BEFORE executing the stage.
+    const std::size_t run = std::size_t{1} << (stage - 1);
+    for (std::size_t base = 0; base < N; base += run) {
+      const bool asc = (base / run) % 2 == 0;
+      for (std::size_t i = base + 1; i < base + run; ++i) {
+        if (asc) {
+          EXPECT_LE(data[i - 1], data[i]) << "stage " << stage << " base " << base;
+        } else {
+          EXPECT_GE(data[i - 1], data[i]) << "stage " << stage << " base " << base;
+        }
+      }
+    }
+    reference_stage(std::span<std::uint32_t>(data.data(), N), stage);
+  }
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+// Lemma 7: at column s of a stage the data consists of 2^(lgN-s) bitonic
+// sequences of length 2^s.
+TEST(Network, Lemma7ColumnStructure) {
+  const std::size_t N = 256;
+  auto data = util::generate_keys(N, util::KeyDistribution::kUniform31, 12);
+  const int stages = util::ilog2(N);
+  for (int stage = 1; stage <= stages; ++stage) {
+    for (int step = stage; step >= 1; --step) {
+      // Before executing step `step` we are at column `step`; blocks of
+      // size 2^step are bitonic.
+      const std::size_t block = std::size_t{1} << step;
+      for (std::size_t base = 0; base < N; base += block) {
+        EXPECT_TRUE(
+            is_bitonic(std::span<const std::uint32_t>(data.data() + base, block)))
+            << "stage " << stage << " step " << step << " base " << base;
+      }
+      reference_step(std::span<std::uint32_t>(data.data(), N), stage, step);
+    }
+  }
+}
+
+TEST(Network, StageEqualsStepSequence) {
+  const std::size_t N = 64;
+  auto a = util::generate_keys(N, util::KeyDistribution::kUniform31, 5);
+  auto b = a;
+  for (int stage = 1; stage <= util::ilog2(N); ++stage) {
+    reference_stage(std::span<std::uint32_t>(a.data(), N), stage);
+    for (int step = stage; step >= 1; --step) {
+      reference_step(std::span<std::uint32_t>(b.data(), N), stage, step);
+    }
+    EXPECT_EQ(a, b) << "stage " << stage;
+  }
+}
+
+}  // namespace
+}  // namespace bsort::net

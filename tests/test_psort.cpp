@@ -1,0 +1,97 @@
+#include "psort/psort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "loggp/params.hpp"
+#include "test_helpers.hpp"
+#include "util/random.hpp"
+
+namespace bsort::psort {
+namespace {
+
+using testing::run_vector_spmd;
+using util::KeyDistribution;
+
+struct Case {
+  std::size_t total_keys;
+  int nprocs;
+  KeyDistribution dist;
+};
+
+class PsortTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PsortTest, ParallelRadixSorts) {
+  const auto& c = GetParam();
+  const auto input = util::generate_keys(c.total_keys, c.dist, c.total_keys + 1);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  const auto out = run_vector_spmd(
+      input, c.nprocs, simd::MessageMode::kLong,
+      [](simd::Proc& p, std::vector<std::uint32_t>& keys) { parallel_radix_sort(p, keys); });
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(PsortTest, ParallelSampleSorts) {
+  const auto& c = GetParam();
+  const auto input = util::generate_keys(c.total_keys, c.dist, c.total_keys + 2);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  const auto out = run_vector_spmd(
+      input, c.nprocs, simd::MessageMode::kLong,
+      [](simd::Proc& p, std::vector<std::uint32_t>& keys) {
+        parallel_sample_sort(p, keys);
+      });
+  EXPECT_EQ(out, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PsortTest,
+    ::testing::Values(Case{1u << 10, 4, KeyDistribution::kUniform31},
+                      Case{1u << 12, 8, KeyDistribution::kUniform31},
+                      Case{1u << 14, 16, KeyDistribution::kUniform31},
+                      Case{1u << 12, 8, KeyDistribution::kLowEntropy},
+                      Case{1u << 12, 8, KeyDistribution::kSorted},
+                      Case{1u << 12, 8, KeyDistribution::kConstant},
+                      Case{1u << 10, 1, KeyDistribution::kUniform31},
+                      Case{1u << 10, 2, KeyDistribution::kReversed}));
+
+TEST(SampleSort, LowEntropyStillCorrectThoughImbalanced) {
+  // 16 distinct values across 8 processors: heavy imbalance but the
+  // concatenated output must still be sorted.
+  const auto input = util::generate_keys(1u << 12, KeyDistribution::kLowEntropy, 3);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  const auto out = run_vector_spmd(
+      input, 8, simd::MessageMode::kLong,
+      [](simd::Proc& p, std::vector<std::uint32_t>& keys) {
+        parallel_sample_sort(p, keys);
+      });
+  EXPECT_EQ(out, expected);
+}
+
+TEST(RadixSort, PerPassVolumeIsBounded) {
+  // Each of the 4 passes moves at most n keys per processor plus the
+  // histogram traffic.
+  const int P = 8;
+  const std::size_t n = 1u << 10;
+  const auto input = util::generate_keys(n * P, KeyDistribution::kUniform31, 4);
+  std::vector<std::vector<std::uint32_t>> slices(P);
+  for (int r = 0; r < P; ++r) {
+    slices[static_cast<std::size_t>(r)].assign(
+        input.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r) * n),
+        input.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r + 1) * n));
+  }
+  simd::Machine machine(P, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  auto rep = machine.run([&](simd::Proc& p) {
+    parallel_radix_sort(p, slices[static_cast<std::size_t>(p.rank())]);
+  });
+  for (const auto& c : rep.proc_comm) {
+    EXPECT_EQ(c.exchanges, 8u);  // histogram + keys per pass
+    EXPECT_LE(c.elements_sent, 4 * (n + 256 * P));
+  }
+}
+
+}  // namespace
+}  // namespace bsort::psort

@@ -1,0 +1,47 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bsort::util {
+namespace {
+
+TEST(Random, Deterministic) {
+  const auto a = generate_keys(1000, KeyDistribution::kUniform31, 7);
+  const auto b = generate_keys(1000, KeyDistribution::kUniform31, 7);
+  EXPECT_EQ(a, b);
+  const auto c = generate_keys(1000, KeyDistribution::kUniform31, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(Random, Uniform31Range) {
+  const auto keys = generate_keys(10000, KeyDistribution::kUniform31, 1);
+  for (const auto k : keys) EXPECT_LT(k, 1u << 31);
+  // Spread check: top byte should take many values.
+  std::set<std::uint32_t> tops;
+  for (const auto k : keys) tops.insert(k >> 23);
+  EXPECT_GT(tops.size(), 200u);
+}
+
+TEST(Random, LowEntropyFewValues) {
+  const auto keys = generate_keys(10000, KeyDistribution::kLowEntropy, 1);
+  std::set<std::uint32_t> values(keys.begin(), keys.end());
+  EXPECT_LE(values.size(), 16u);
+}
+
+TEST(Random, SortedAndReversed) {
+  const auto asc = generate_keys(100, KeyDistribution::kSorted, 1);
+  EXPECT_TRUE(std::is_sorted(asc.begin(), asc.end()));
+  const auto desc = generate_keys(100, KeyDistribution::kReversed, 1);
+  EXPECT_TRUE(std::is_sorted(desc.rbegin(), desc.rend()));
+}
+
+TEST(Random, Constant) {
+  const auto keys = generate_keys(17, KeyDistribution::kConstant, 1);
+  for (const auto k : keys) EXPECT_EQ(k, keys[0]);
+}
+
+}  // namespace
+}  // namespace bsort::util

@@ -1,0 +1,160 @@
+#include "layout/remap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "schedule/smart_schedule.hpp"
+#include "util/bits.hpp"
+
+namespace bsort::layout {
+namespace {
+
+/// Simulate a remap with the plan on every processor and verify each key
+/// (tagged with its absolute address) lands exactly where layout `to`
+/// says it should.
+void check_plan_roundtrip(const BitLayout& from, const BitLayout& to) {
+  const std::uint64_t P = from.proc_count();
+  const std::uint64_t n = from.local_size();
+  // data[proc][local] = absolute address stored there (under `from`).
+  std::vector<std::vector<std::uint32_t>> data(P, std::vector<std::uint32_t>(n));
+  for (std::uint64_t pr = 0; pr < P; ++pr) {
+    for (std::uint64_t l = 0; l < n; ++l) {
+      data[pr][l] = static_cast<std::uint32_t>(from.abs_of(pr, l));
+    }
+  }
+  // Mailboxes: message from src to dst.
+  std::vector<std::vector<std::vector<std::uint32_t>>> box(
+      P, std::vector<std::vector<std::uint32_t>>(P));
+  std::vector<ExchangePlan> plans;
+  plans.reserve(P);
+  for (std::uint64_t pr = 0; pr < P; ++pr) {
+    plans.push_back(build_exchange_plan(from, to, pr));
+  }
+  const auto st = analyze_remap(from, to);
+  for (std::uint64_t pr = 0; pr < P; ++pr) {
+    const auto& plan = plans[pr];
+    EXPECT_EQ(plan.send_peers.size(), st.group_size);
+    EXPECT_EQ(plan.recv_peers.size(), st.group_size);
+    for (std::size_t i = 0; i < plan.send_peers.size(); ++i) {
+      EXPECT_EQ(plan.send_local[i].size(), st.send_per_peer);
+      std::vector<std::uint32_t> msg;
+      for (const auto sl : plan.send_local[i]) msg.push_back(data[pr][sl]);
+      box[plan.send_peers[i]][pr] = std::move(msg);
+    }
+  }
+  for (std::uint64_t pr = 0; pr < P; ++pr) {
+    const auto& plan = plans[pr];
+    std::vector<std::uint32_t> out(n, 0xFFFFFFFFu);
+    for (std::size_t j = 0; j < plan.recv_peers.size(); ++j) {
+      const auto& msg = box[pr][plan.recv_peers[j]];
+      ASSERT_EQ(msg.size(), plan.recv_local[j].size());
+      for (std::size_t q = 0; q < msg.size(); ++q) out[plan.recv_local[j][q]] = msg[q];
+    }
+    for (std::uint64_t l = 0; l < n; ++l) {
+      EXPECT_EQ(out[l], static_cast<std::uint32_t>(to.abs_of(pr, l)))
+          << "proc " << pr << " local " << l;
+    }
+  }
+}
+
+TEST(Remap, BlockedToCyclicRoundtrip) {
+  check_plan_roundtrip(BitLayout::blocked(3, 2), BitLayout::cyclic(3, 2));
+  check_plan_roundtrip(BitLayout::cyclic(3, 2), BitLayout::blocked(3, 2));
+}
+
+TEST(Remap, BlockedToSmartRoundtripSweep) {
+  for (auto [log_n, log_p] : {std::pair{3, 2}, {4, 3}, {2, 3}}) {
+    const auto blocked = BitLayout::blocked(log_n, log_p);
+    for (int k = 1; k <= log_p; ++k) {
+      for (int s = 1; s <= log_n + k; ++s) {
+        const auto lay = BitLayout::smart(log_n, log_p, smart_params(log_n, log_p, k, s));
+        check_plan_roundtrip(blocked, lay);
+      }
+    }
+  }
+}
+
+TEST(Remap, SmartScheduleConsecutiveLayouts) {
+  // Every consecutive pair of layouts along a real schedule round-trips,
+  // including phase-2 variants.
+  for (auto [log_n, log_p] : {std::pair{4, 2}, {4, 3}, {6, 3}, {2, 3}}) {
+    const auto sched = schedule::make_smart_schedule(log_n, log_p);
+    auto prev = BitLayout::blocked(log_n, log_p);
+    for (const auto& phase : sched.remaps) {
+      check_plan_roundtrip(prev, phase.layout);
+      prev = phase.layout;
+      if (phase.params.kind == SmartKind::kCrossing) {
+        prev = BitLayout::smart_phase2(log_n, log_p, phase.params);
+      }
+    }
+  }
+}
+
+TEST(Remap, StatsMatchLemma4) {
+  // Blocked -> cyclic with log_n=4, log_p=2: 2 bits change, group = all
+  // 4 processors, each keeps n/4.
+  const auto st = analyze_remap(BitLayout::blocked(4, 2), BitLayout::cyclic(4, 2));
+  EXPECT_EQ(st.bits_changed, 2);
+  EXPECT_EQ(st.group_size, 4u);
+  EXPECT_EQ(st.keep_count, 4u);
+  EXPECT_EQ(st.send_per_peer, 4u);
+}
+
+TEST(Remap, GroupsAreConsecutiveForSmartSchedules) {
+  // Lemma 4: processors communicate in groups of consecutive processor
+  // numbers of size 2^r.
+  for (auto [log_n, log_p] : {std::pair{4, 3}, {6, 3}, {4, 2}}) {
+    const auto sched = schedule::make_smart_schedule(log_n, log_p);
+    auto prev = BitLayout::blocked(log_n, log_p);
+    for (const auto& phase : sched.remaps) {
+      const auto st = analyze_remap(prev, phase.layout);
+      const std::uint64_t P = prev.proc_count();
+      for (std::uint64_t pr = 0; pr < P; ++pr) {
+        const auto plan = build_exchange_plan(prev, phase.layout, pr);
+        const std::uint64_t base = st.group_size * (pr / st.group_size);
+        ASSERT_EQ(plan.send_peers.size(), st.group_size);
+        for (std::size_t i = 0; i < plan.send_peers.size(); ++i) {
+          EXPECT_EQ(plan.send_peers[i], base + i) << "proc " << pr;
+        }
+        EXPECT_EQ(plan.recv_peers, plan.send_peers) << "proc " << pr;
+      }
+      prev = phase.layout;
+      if (phase.params.kind == SmartKind::kCrossing) {
+        prev = BitLayout::smart_phase2(log_n, log_p, phase.params);
+      }
+    }
+  }
+}
+
+TEST(Remap, MasksShadedBitCounts) {
+  const auto from = BitLayout::blocked(4, 2);
+  const auto to = BitLayout::cyclic(4, 2);
+  const auto m = remap_masks(from, to);
+  EXPECT_EQ(util::popcount64(m.pack_shaded), bits_changed(from, to));
+  EXPECT_EQ(util::popcount64(m.unpack_shaded), bits_changed(from, to));
+  // Blocked local bits 0..3 carry absolute bits 0..3; cyclic makes
+  // absolute bits 0..1 processor bits.
+  EXPECT_EQ(m.pack_shaded, 0b0011u);
+}
+
+TEST(Remap, MaskShadedBitsDetermineDestination) {
+  // Elements whose `from`-local addresses agree outside the pack mask go
+  // to the same destination processor (the mask's field selects the peer).
+  const auto from = BitLayout::blocked(4, 3);
+  const auto to =
+      BitLayout::smart(4, 3, smart_params(4, 3, /*k=*/1, /*s=*/5));
+  const auto m = remap_masks(from, to);
+  for (std::uint64_t pr = 0; pr < from.proc_count(); ++pr) {
+    for (std::uint64_t l1 = 0; l1 < from.local_size(); ++l1) {
+      for (std::uint64_t l2 = 0; l2 < from.local_size(); ++l2) {
+        if ((l1 & m.pack_shaded) != (l2 & m.pack_shaded)) continue;
+        EXPECT_EQ(to.proc_of(from.abs_of(pr, l1)), to.proc_of(from.abs_of(pr, l2)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsort::layout

@@ -1,0 +1,162 @@
+#include "net/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace bsort::net {
+namespace {
+
+TEST(IsBitonic, Examples) {
+  // From the thesis (Figure 2.1).
+  const std::vector<std::uint32_t> a = {2, 3, 4, 5, 6, 7, 8, 8, 7, 5, 3, 2, 1};
+  EXPECT_TRUE(is_bitonic(a));
+  const std::vector<std::uint32_t> b = {6, 7, 8, 8, 7, 5, 3, 2, 1, 2, 3, 4, 5};
+  EXPECT_TRUE(is_bitonic(b));
+  const std::vector<std::uint32_t> c = {1, 3, 2, 4};
+  EXPECT_FALSE(is_bitonic(c));
+}
+
+TEST(IsBitonic, DegenerateCases) {
+  EXPECT_TRUE(is_bitonic(std::vector<std::uint32_t>{}));
+  EXPECT_TRUE(is_bitonic(std::vector<std::uint32_t>{5}));
+  EXPECT_TRUE(is_bitonic(std::vector<std::uint32_t>{5, 2}));
+  EXPECT_TRUE(is_bitonic(std::vector<std::uint32_t>{7, 7, 7, 7}));
+  EXPECT_TRUE(is_bitonic(std::vector<std::uint32_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(is_bitonic(std::vector<std::uint32_t>{4, 3, 2, 1}));
+}
+
+TEST(IsBitonic, AllRotationsOfSorted) {
+  std::vector<std::uint32_t> v(16);
+  std::iota(v.begin(), v.end(), 0u);
+  for (std::size_t r = 0; r < v.size(); ++r) {
+    std::vector<std::uint32_t> rot(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) rot[i] = v[(i + r) % v.size()];
+    EXPECT_TRUE(is_bitonic(rot)) << "rotation " << r;
+  }
+}
+
+TEST(IsBitonic, RandomIsUsuallyNot) {
+  int bitonic_count = 0;
+  for (int seed = 0; seed < 50; ++seed) {
+    const auto v = util::generate_keys(64, util::KeyDistribution::kUniform31,
+                                       static_cast<std::uint64_t>(seed));
+    if (is_bitonic(v)) ++bitonic_count;
+  }
+  EXPECT_EQ(bitonic_count, 0);
+}
+
+TEST(BitonicSplit, Properties) {
+  // rise-fall sequence of size 32.
+  std::vector<std::uint32_t> v;
+  for (int i = 0; i < 16; ++i) v.push_back(static_cast<std::uint32_t>(i * 3));
+  for (int i = 16; i > 0; --i) v.push_back(static_cast<std::uint32_t>(i * 2));
+  ASSERT_TRUE(is_bitonic(v));
+  auto copy = v;
+  bitonic_split(copy);
+  const std::span<const std::uint32_t> lo(copy.data(), 16);
+  const std::span<const std::uint32_t> hi(copy.data() + 16, 16);
+  EXPECT_TRUE(is_bitonic(lo));
+  EXPECT_TRUE(is_bitonic(hi));
+  const auto max_lo = *std::max_element(lo.begin(), lo.end());
+  const auto min_hi = *std::min_element(hi.begin(), hi.end());
+  EXPECT_LE(max_lo, min_hi);
+  // Same multiset.
+  auto s1 = v;
+  auto s2 = copy;
+  std::sort(s1.begin(), s1.end());
+  std::sort(s2.begin(), s2.end());
+  EXPECT_EQ(s1, s2);
+}
+
+/// Build a rise-fall bitonic sequence with distinct values, then rotate.
+std::vector<std::uint32_t> make_bitonic(std::size_t n, std::size_t peak, std::size_t rot) {
+  std::vector<std::uint32_t> v(n);
+  // Values 0..n-1 arranged to rise to position `peak` then fall; distinct.
+  std::vector<std::uint32_t> vals(n);
+  std::iota(vals.begin(), vals.end(), 0u);
+  // Ascending part gets even ranks, descending odd, so both are strictly
+  // monotone and all values distinct.
+  std::size_t next_hi = n;
+  std::size_t lo = 0;
+  for (std::size_t i = 0; i <= peak && i < n; ++i) v[i] = static_cast<std::uint32_t>(lo++);
+  for (std::size_t i = peak + 1; i < n; ++i) v[i] = static_cast<std::uint32_t>(--next_hi);
+  // v rises 0..peak then falls from n-1 downwards; strictly bitonic if
+  // peak value < following value handled: ensure peak is the max by
+  // swapping in the max value.
+  if (peak < n) {
+    const auto it = std::max_element(v.begin(), v.end());
+    std::swap(*it, v[peak]);
+    // Re-sort two halves to restore monotonicity.
+    std::sort(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(peak) + 1);
+    std::sort(v.begin() + static_cast<std::ptrdiff_t>(peak) + 1, v.end(),
+              std::greater<>());
+  }
+  std::vector<std::uint32_t> rotated(n);
+  for (std::size_t i = 0; i < n; ++i) rotated[i] = v[(i + rot) % n];
+  return rotated;
+}
+
+TEST(BitonicMin, ExhaustiveSmallSizes) {
+  for (std::size_t n = 1; n <= 33; ++n) {
+    for (std::size_t peak = 0; peak < n; ++peak) {
+      for (std::size_t rot = 0; rot < n; ++rot) {
+        const auto v = make_bitonic(n, peak, rot);
+        ASSERT_TRUE(is_bitonic(v)) << "n=" << n << " peak=" << peak << " rot=" << rot;
+        const auto res = bitonic_min_index_log(v);
+        const auto expect = *std::min_element(v.begin(), v.end());
+        EXPECT_EQ(v[res.index], expect)
+            << "n=" << n << " peak=" << peak << " rot=" << rot;
+      }
+    }
+  }
+}
+
+TEST(BitonicMin, LargerPowerOfTwoSizes) {
+  for (const std::size_t n : {64u, 128u, 1024u, 4096u}) {
+    for (std::size_t rot = 0; rot < n; rot += n / 16) {
+      const auto v = make_bitonic(n, n / 3, rot);
+      const auto res = bitonic_min_index_log(v);
+      EXPECT_EQ(v[res.index], *std::min_element(v.begin(), v.end()));
+    }
+  }
+}
+
+TEST(BitonicMin, LogarithmicComparisons) {
+  // Distinct elements: the number of comparisons must be O(log n) — use
+  // a generous constant (4 lg n + 16).
+  for (const std::size_t n : {256u, 4096u, 65536u, 1u << 20}) {
+    const auto v = make_bitonic(n, n / 2 + 3, n / 5);
+    const auto res = bitonic_min_index_log(v);
+    EXPECT_FALSE(res.fell_back_linear) << "n=" << n;
+    const double bound = 4.0 * std::log2(static_cast<double>(n)) + 16;
+    EXPECT_LE(static_cast<double>(res.comparisons), bound) << "n=" << n;
+  }
+}
+
+TEST(BitonicMin, DuplicatesFallBackButCorrect) {
+  // All equal.
+  std::vector<std::uint32_t> flat(64, 9);
+  auto res = bitonic_min_index_log(flat);
+  EXPECT_EQ(flat[res.index], 9u);
+  // Plateau at the minimum.
+  std::vector<std::uint32_t> v = {5, 4, 3, 1, 1, 1, 2, 6, 9, 8, 7, 6, 6, 6, 6, 5};
+  ASSERT_TRUE(is_bitonic(v));
+  res = bitonic_min_index_log(v);
+  EXPECT_EQ(v[res.index], 1u);
+}
+
+TEST(BitonicMin, LinearAgrees) {
+  for (std::size_t rot = 0; rot < 31; ++rot) {
+    const auto v = make_bitonic(31, 10, rot);
+    EXPECT_EQ(v[bitonic_min_index_linear(v)], v[bitonic_min_index_log(v).index]);
+  }
+}
+
+}  // namespace
+}  // namespace bsort::net
