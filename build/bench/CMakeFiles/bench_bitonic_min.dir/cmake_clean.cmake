@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bitonic_min.dir/bench_bitonic_min.cpp.o"
+  "CMakeFiles/bench_bitonic_min.dir/bench_bitonic_min.cpp.o.d"
+  "CMakeFiles/bench_bitonic_min.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_bitonic_min.dir/bench_common.cpp.o.d"
+  "bench_bitonic_min"
+  "bench_bitonic_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bitonic_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chooser.dir/bench_chooser.cpp.o"
+  "CMakeFiles/bench_chooser.dir/bench_chooser.cpp.o.d"
+  "CMakeFiles/bench_chooser.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_chooser.dir/bench_common.cpp.o.d"
+  "bench_chooser"
+  "bench_chooser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chooser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_metrics.dir/bench_comm_metrics.cpp.o"
+  "CMakeFiles/bench_comm_metrics.dir/bench_comm_metrics.cpp.o.d"
+  "CMakeFiles/bench_comm_metrics.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_comm_metrics.dir/bench_common.cpp.o.d"
+  "bench_comm_metrics"
+  "bench_comm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_compute.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_local_compute.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_local_compute.dir/bench_local_compute.cpp.o"
+  "CMakeFiles/bench_local_compute.dir/bench_local_compute.cpp.o.d"
+  "bench_local_compute"
+  "bench_local_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remap_shift.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_remap_shift.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_remap_shift.dir/bench_remap_shift.cpp.o"
+  "CMakeFiles/bench_remap_shift.dir/bench_remap_shift.cpp.o.d"
+  "bench_remap_shift"
+  "bench_remap_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remap_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

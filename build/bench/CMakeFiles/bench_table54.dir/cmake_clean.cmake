@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table54.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table54.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table54.dir/bench_table54.cpp.o"
+  "CMakeFiles/bench_table54.dir/bench_table54.cpp.o.d"
+  "bench_table54"
+  "bench_table54.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table54.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_sort.dir/adaptive_sort.cpp.o"
+  "CMakeFiles/example_adaptive_sort.dir/adaptive_sort.cpp.o.d"
+  "example_adaptive_sort"
+  "example_adaptive_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_minimum_search.dir/minimum_search.cpp.o"
+  "CMakeFiles/example_minimum_search.dir/minimum_search.cpp.o.d"
+  "example_minimum_search"
+  "example_minimum_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_minimum_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sorting_race.dir/sorting_race.cpp.o"
+  "CMakeFiles/example_sorting_race.dir/sorting_race.cpp.o.d"
+  "example_sorting_race"
+  "example_sorting_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sorting_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/parallel_sort.cpp" "src/CMakeFiles/bsort.dir/api/parallel_sort.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/api/parallel_sort.cpp.o.d"
+  "/root/repo/src/bitonic/blocked_merge.cpp" "src/CMakeFiles/bsort.dir/bitonic/blocked_merge.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/bitonic/blocked_merge.cpp.o.d"
+  "/root/repo/src/bitonic/cyclic_blocked.cpp" "src/CMakeFiles/bsort.dir/bitonic/cyclic_blocked.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/bitonic/cyclic_blocked.cpp.o.d"
+  "/root/repo/src/bitonic/naive.cpp" "src/CMakeFiles/bsort.dir/bitonic/naive.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/bitonic/naive.cpp.o.d"
+  "/root/repo/src/bitonic/remap_exec.cpp" "src/CMakeFiles/bsort.dir/bitonic/remap_exec.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/bitonic/remap_exec.cpp.o.d"
+  "/root/repo/src/bitonic/smart.cpp" "src/CMakeFiles/bsort.dir/bitonic/smart.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/bitonic/smart.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "src/CMakeFiles/bsort.dir/fft/fft.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/layout/bit_layout.cpp" "src/CMakeFiles/bsort.dir/layout/bit_layout.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/layout/bit_layout.cpp.o.d"
+  "/root/repo/src/layout/remap.cpp" "src/CMakeFiles/bsort.dir/layout/remap.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/layout/remap.cpp.o.d"
+  "/root/repo/src/localsort/bitonic_merge.cpp" "src/CMakeFiles/bsort.dir/localsort/bitonic_merge.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/localsort/bitonic_merge.cpp.o.d"
+  "/root/repo/src/localsort/compare_exchange.cpp" "src/CMakeFiles/bsort.dir/localsort/compare_exchange.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/localsort/compare_exchange.cpp.o.d"
+  "/root/repo/src/localsort/pway_merge.cpp" "src/CMakeFiles/bsort.dir/localsort/pway_merge.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/localsort/pway_merge.cpp.o.d"
+  "/root/repo/src/localsort/radix_sort.cpp" "src/CMakeFiles/bsort.dir/localsort/radix_sort.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/localsort/radix_sort.cpp.o.d"
+  "/root/repo/src/loggp/choose.cpp" "src/CMakeFiles/bsort.dir/loggp/choose.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/loggp/choose.cpp.o.d"
+  "/root/repo/src/loggp/cost.cpp" "src/CMakeFiles/bsort.dir/loggp/cost.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/loggp/cost.cpp.o.d"
+  "/root/repo/src/loggp/params.cpp" "src/CMakeFiles/bsort.dir/loggp/params.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/loggp/params.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/bsort.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/sequence.cpp" "src/CMakeFiles/bsort.dir/net/sequence.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/net/sequence.cpp.o.d"
+  "/root/repo/src/psort/column_sort.cpp" "src/CMakeFiles/bsort.dir/psort/column_sort.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/psort/column_sort.cpp.o.d"
+  "/root/repo/src/psort/parallel_radix.cpp" "src/CMakeFiles/bsort.dir/psort/parallel_radix.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/psort/parallel_radix.cpp.o.d"
+  "/root/repo/src/psort/parallel_sample.cpp" "src/CMakeFiles/bsort.dir/psort/parallel_sample.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/psort/parallel_sample.cpp.o.d"
+  "/root/repo/src/schedule/formulas.cpp" "src/CMakeFiles/bsort.dir/schedule/formulas.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/schedule/formulas.cpp.o.d"
+  "/root/repo/src/schedule/smart_schedule.cpp" "src/CMakeFiles/bsort.dir/schedule/smart_schedule.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/schedule/smart_schedule.cpp.o.d"
+  "/root/repo/src/simd/machine.cpp" "src/CMakeFiles/bsort.dir/simd/machine.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/simd/machine.cpp.o.d"
+  "/root/repo/src/util/bits.cpp" "src/CMakeFiles/bsort.dir/util/bits.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/util/bits.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/bsort.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/bsort.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/bsort.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/bsort.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

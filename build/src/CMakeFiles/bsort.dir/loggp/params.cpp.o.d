@@ -1,0 +1,3 @@
+src/CMakeFiles/bsort.dir/loggp/params.cpp.o: \
+ /root/repo/src/loggp/params.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/loggp/params.hpp

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_api.cpp" "tests/CMakeFiles/bsort_tests.dir/test_api.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_api.cpp.o.d"
+  "/root/repo/tests/test_bitonic_sorts.cpp" "tests/CMakeFiles/bsort_tests.dir/test_bitonic_sorts.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_bitonic_sorts.cpp.o.d"
+  "/root/repo/tests/test_bits.cpp" "tests/CMakeFiles/bsort_tests.dir/test_bits.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_bits.cpp.o.d"
+  "/root/repo/tests/test_choose.cpp" "tests/CMakeFiles/bsort_tests.dir/test_choose.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_choose.cpp.o.d"
+  "/root/repo/tests/test_column_sort.cpp" "tests/CMakeFiles/bsort_tests.dir/test_column_sort.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_column_sort.cpp.o.d"
+  "/root/repo/tests/test_compare_exchange.cpp" "tests/CMakeFiles/bsort_tests.dir/test_compare_exchange.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_compare_exchange.cpp.o.d"
+  "/root/repo/tests/test_coverage_extra.cpp" "tests/CMakeFiles/bsort_tests.dir/test_coverage_extra.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_coverage_extra.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/bsort_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_formulas.cpp" "tests/CMakeFiles/bsort_tests.dir/test_formulas.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_formulas.cpp.o.d"
+  "/root/repo/tests/test_helpers.cpp" "tests/CMakeFiles/bsort_tests.dir/test_helpers.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_helpers.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/bsort_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/bsort_tests.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/test_localsort.cpp" "tests/CMakeFiles/bsort_tests.dir/test_localsort.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_localsort.cpp.o.d"
+  "/root/repo/tests/test_loggp.cpp" "tests/CMakeFiles/bsort_tests.dir/test_loggp.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_loggp.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/bsort_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_machine_edge.cpp" "tests/CMakeFiles/bsort_tests.dir/test_machine_edge.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_machine_edge.cpp.o.d"
+  "/root/repo/tests/test_mask_plan.cpp" "tests/CMakeFiles/bsort_tests.dir/test_mask_plan.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_mask_plan.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/bsort_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/bsort_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_psort.cpp" "tests/CMakeFiles/bsort_tests.dir/test_psort.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_psort.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/bsort_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_remap.cpp" "tests/CMakeFiles/bsort_tests.dir/test_remap.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_remap.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/bsort_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_sequence.cpp" "tests/CMakeFiles/bsort_tests.dir/test_sequence.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_sequence.cpp.o.d"
+  "/root/repo/tests/test_stats_table.cpp" "tests/CMakeFiles/bsort_tests.dir/test_stats_table.cpp.o" "gcc" "tests/CMakeFiles/bsort_tests.dir/test_stats_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bsort.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
