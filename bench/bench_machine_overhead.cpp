@@ -1,0 +1,171 @@
+// Simulator overhead: host wall-seconds vs simulated makespan for smart
+// bitonic sort across machine sizes, plus a steady-state allocation
+// audit of the pooled exchange path (a warmed-up remap must perform
+// ZERO heap allocations — arenas, workspaces and worker threads are all
+// recycled).  Emits JSON on stdout for machine consumption.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <new>
+#include <vector>
+
+#include "api/parallel_sort.hpp"
+#include "bitonic/remap_exec.hpp"
+#include "layout/bit_layout.hpp"
+#include "loggp/params.hpp"
+#include "simd/machine.hpp"
+#include "util/random.hpp"
+
+// ---- global allocation counter --------------------------------------
+// Replaces the global allocation functions so every operator new in the
+// process (any thread) bumps the counter.  Deliberately minimal: count,
+// then defer to malloc/free.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+int main() {
+  using namespace bsort;
+
+  std::cout << "{\n  \"bench\": \"machine_overhead\",\n";
+
+  // ---- wall vs simulated time across machine sizes ------------------
+  // wall_seconds is what the HOST pays to simulate; makespan_us is what
+  // the simulated Meiko machine reports.  The ratio is the simulator's
+  // overhead factor and the number the pooled-buffer work drives down.
+  std::cout << "  \"sweep\": [\n";
+  const std::size_t keys_per_proc = 1u << 12;
+  bool first = true;
+  for (const int P : {4, 8, 16, 32, 64}) {
+    api::Config cfg;
+    cfg.nprocs = P;
+    cfg.algorithm = api::Algorithm::kSmartBitonic;
+    const std::size_t total = keys_per_proc * static_cast<std::size_t>(P);
+    auto keys = util::generate_keys(total, util::KeyDistribution::kUniform31, 42);
+
+    const std::uint64_t a0 = g_allocs.load();
+    // Best of three: timed sections run under a host scheduler, so one
+    // preempted rep occasionally inflates the wall clock.
+    double wall = 0, makespan = 0;
+    bool sorted = true;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto work = keys;
+      const auto outcome = api::parallel_sort(work, cfg);
+      sorted = sorted && outcome.sorted;
+      if (rep == 0 || outcome.report.wall_seconds < wall) {
+        wall = outcome.report.wall_seconds;
+        makespan = outcome.report.makespan_us;
+      }
+    }
+    const std::uint64_t allocs = g_allocs.load() - a0;
+
+    if (!sorted) {
+      std::cerr << "ERROR: unsorted output at P=" << P << "\n";
+      return 1;
+    }
+    std::cout << (first ? "" : ",\n") << "    {\"nprocs\": " << P
+              << ", \"total_keys\": " << total << ", \"wall_seconds\": " << wall
+              << ", \"makespan_us\": " << makespan
+              << ", \"wall_us_per_simulated_us\": " << (wall * 1e6 / makespan)
+              << ", \"allocs_three_reps\": " << allocs << "}";
+    first = false;
+  }
+  std::cout << "\n  ],\n";
+
+  // ---- run-dispatch overhead ----------------------------------------
+  // Cost of Machine::run itself on a warm Machine (persistent worker
+  // pool; previously every run spawned and joined P fresh threads).
+  {
+    const int P = 16;
+    simd::Machine m(P, loggp::meiko_cs2(), simd::MessageMode::kLong);
+    m.run([](simd::Proc&) {});  // warm the pool
+    const int reps = 50;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) m.run([](simd::Proc&) {});
+    const double per_run_us =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() *
+        1e6 / reps;
+    std::cout << "  \"dispatch\": {\"nprocs\": " << P
+              << ", \"empty_run_us\": " << per_run_us << "},\n";
+  }
+
+  // ---- steady-state allocation audit --------------------------------
+  // One Machine, cached remap workspaces, repeated blocked<->cyclic
+  // remaps.  After warmup every buffer has reached its high-water mark,
+  // so the measured window must allocate exactly nothing.
+  {
+    const int P = 16;
+    const int log_p = 4;
+    const int log_n = 10;  // 1K keys/proc
+    const std::size_t n = std::size_t{1} << log_n;
+    const int kWarmup = 3;
+    const int kMeasured = 20;
+
+    simd::Machine m(P, loggp::meiko_cs2(), simd::MessageMode::kLong);
+    std::atomic<std::uint64_t> window_allocs{0};
+    const auto rep = m.run([&](simd::Proc& p) {
+      const auto blocked = layout::BitLayout::blocked(log_n, log_p);
+      const auto cyclic = layout::BitLayout::cyclic(log_n, log_p);
+      std::vector<std::uint32_t> a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<std::uint32_t>((i * 2654435761u) ^
+                                          static_cast<std::uint32_t>(p.rank()));
+      }
+      bitonic::RemapWorkspace ws_bc, ws_cb;
+      for (int r = 0; r < kWarmup; ++r) {
+        bitonic::remap_data_into(p, blocked, cyclic, a, b, ws_bc);
+        bitonic::remap_data_into(p, cyclic, blocked, b, a, ws_cb);
+      }
+      // Bracket the measured window with barriers so the snapshot on
+      // rank 0 covers exactly the remaps of ALL ranks.
+      p.barrier();
+      std::uint64_t t0 = 0;
+      if (p.rank() == 0) t0 = g_allocs.load();
+      for (int r = 0; r < kMeasured; ++r) {
+        bitonic::remap_data_into(p, blocked, cyclic, a, b, ws_bc);
+        bitonic::remap_data_into(p, cyclic, blocked, b, a, ws_cb);
+      }
+      p.barrier();
+      if (p.rank() == 0) window_allocs.store(g_allocs.load() - t0);
+    });
+
+    const int remaps = 2 * kMeasured * P;
+    std::cout << "  \"steady_state\": {\"nprocs\": " << P
+              << ", \"keys_per_proc\": " << n << ", \"remaps_measured\": " << remaps
+              << ", \"heap_allocations\": " << window_allocs.load()
+              << ", \"allocs_per_remap\": "
+              << (static_cast<double>(window_allocs.load()) / remaps)
+              << ", \"wall_seconds\": " << rep.wall_seconds << "},\n";
+    std::cout << "  \"concurrent_timing\": " << (m.concurrent_timing() ? "true" : "false")
+              << "\n}\n";
+    if (window_allocs.load() != 0) {
+      std::cerr << "WARNING: steady-state remap performed "
+                << window_allocs.load() << " heap allocations (expected 0)\n";
+      return 2;
+    }
+  }
+  return 0;
+}

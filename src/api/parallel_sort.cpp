@@ -33,12 +33,17 @@ bool config_valid(const Config& config, std::size_t total_keys) {
   if (config.nprocs < 1 || !util::is_pow2(static_cast<std::uint64_t>(config.nprocs))) {
     return false;
   }
-  if (total_keys == 0 || !util::is_pow2(total_keys)) return false;
+  // Zero keys are trivially sortable by every algorithm (parallel_sort
+  // runs a no-op program), so only the machine shape matters.
+  if (total_keys == 0) return true;
+  if (!util::is_pow2(total_keys)) return false;
   if (total_keys % static_cast<std::size_t>(config.nprocs) != 0) return false;
   const std::uint64_t n = total_keys / static_cast<std::size_t>(config.nprocs);
   switch (config.algorithm) {
     case Algorithm::kSmartBitonic:
-      return n >= 2;
+      // With P > 1 the schedule needs lg n >= 1; a single processor
+      // degenerates to one local sort, which handles any n.
+      return n >= 2 || config.nprocs == 1;
     case Algorithm::kCyclicBlockedBitonic:
       return n >= static_cast<std::uint64_t>(config.nprocs);  // N >= P^2
     case Algorithm::kBlockedMergeBitonic:
@@ -58,6 +63,13 @@ Outcome parallel_sort(std::vector<std::uint32_t>& keys, const Config& config) {
   simd::Machine machine(config.nprocs, config.params, config.mode, config.cpu_scale);
 
   Outcome out;
+  if (keys.empty()) {
+    // Nothing to scatter; run an empty program so the report is still
+    // well-formed (P processors, zero communication).
+    out.report = machine.run([](simd::Proc&) {});
+    out.sorted = true;
+    return out;
+  }
   if (config.algorithm == Algorithm::kParallelRadix ||
       config.algorithm == Algorithm::kSampleSort) {
     // Vector-based sorts (sample sort's partition sizes vary).

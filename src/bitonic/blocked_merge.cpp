@@ -30,9 +30,15 @@ void blocked_merge_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
     // partner differing in rank bit (step - 1 - lg n).
     for (int bit = k - 1; bit >= 0; --bit) {
       const std::uint64_t partner = rank ^ (std::uint64_t{1} << bit);
-      std::vector<std::uint32_t> payload;
-      p.timed(simd::Phase::kPack, [&] { payload.assign(keys.begin(), keys.end()); });
-      auto other = p.exchange_with(partner, std::move(payload));
+      // Pooled pairwise exchange: stage the whole block in the arena,
+      // read the partner's block in place — no payload vectors.
+      const std::uint64_t peers[1] = {partner};
+      const std::size_t sizes[1] = {keys.size()};
+      p.open_exchange(peers, sizes, peers);
+      p.timed(simd::Phase::kPack,
+              [&] { std::copy(keys.begin(), keys.end(), p.send_slot(0).begin()); });
+      p.commit_exchange();
+      const auto other = p.recv_view(0);
       p.timed(simd::Phase::kCompute, [&] {
         // Element i here pairs with element i on the partner; both share
         // all absolute-address bits except rank bit `bit`.  The node

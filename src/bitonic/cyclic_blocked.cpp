@@ -30,20 +30,26 @@ void cyclic_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
   const auto blocked = layout::BitLayout::blocked(log_n, log_p);
   const auto cyclic = layout::BitLayout::cyclic(log_n, log_p);
 
+  // The schedule alternates between exactly two remaps, so each cached
+  // workspace hits from the second stage on — steady-state stages remap
+  // with zero heap allocations.
+  RemapWorkspace ws_to_cyclic;
+  RemapWorkspace ws_to_blocked;
+
   for (int k = 1; k <= log_p; ++k) {
     const int stage = log_n + k;
     // Remap to cyclic; the stage's first k steps (steps lg n + k .. lg n
     // + 1) compare absolute bits lg n + k - 1 .. lg n, local under the
     // cyclic layout since lg n >= lg P.  They form the top of the
     // stage's bitonic merge: a cascade of bitonic splits.
-    remap_data(p, blocked, cyclic, keys, scratch);
+    remap_data(p, blocked, cyclic, keys, scratch, ws_to_cyclic);
     p.timed(simd::Phase::kCompute, [&] {
       localsort::local_network_steps(cyclic, rank, keys, stage, stage, k);
     });
     // Remap back to blocked; the remaining lg n steps complete the merge
     // of each block, which Lemma 7 shows is a bitonic sequence: finish
     // with a bitonic merge sort in the stage's direction (rank bit k).
-    remap_data(p, cyclic, blocked, keys, scratch);
+    remap_data(p, cyclic, blocked, keys, scratch, ws_to_blocked);
     p.timed(simd::Phase::kCompute, [&] {
       const bool ascending = util::bit(rank, k) == 0;
       localsort::bitonic_merge_sort_inplace(keys, scratch, ascending);

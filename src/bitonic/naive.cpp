@@ -29,9 +29,14 @@ void naive_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
       // in rank bit (abs_bit - lg n), keep the min or max half.
       const int rank_bit = abs_bit - log_n;
       const std::uint64_t partner = rank ^ (std::uint64_t{1} << rank_bit);
-      std::vector<std::uint32_t> payload;
-      p.timed(simd::Phase::kPack, [&] { payload.assign(keys.begin(), keys.end()); });
-      auto other = p.exchange_with(partner, std::move(payload));
+      // Pooled pairwise exchange (see blocked_merge.cpp).
+      const std::uint64_t peers[1] = {partner};
+      const std::size_t sizes[1] = {keys.size()};
+      p.open_exchange(peers, sizes, peers);
+      p.timed(simd::Phase::kPack,
+              [&] { std::copy(keys.begin(), keys.end(), p.send_slot(0).begin()); });
+      p.commit_exchange();
+      const auto other = p.recv_view(0);
       p.timed(simd::Phase::kCompute, [&] {
         // Direction bit of the stage is absolute bit `stage`; elements on
         // this processor share it (it is >= lg n for the last lg P

@@ -5,75 +5,107 @@
 
 namespace bsort::bitonic {
 
+namespace {
+
+/// Rebuild `ws` for the (from, to) pair unless it is already cached.
+/// The self entry gets a zero-size slot: the kept portion is scattered
+/// directly from `in` during unpack, never staged.
+void prepare_workspace(RemapWorkspace& ws, const layout::BitLayout& from,
+                       const layout::BitLayout& to, std::uint64_t rank) {
+  if (ws.from && *ws.from == from && *ws.to == to) return;
+  ws.plan = layout::build_mask_plan(from, to);
+  const std::size_t G = ws.plan.group_size();
+  const std::size_t M = ws.plan.message_size();
+  ws.send_peers.resize(G);
+  ws.recv_peers.resize(G);
+  ws.sizes.resize(G);
+  ws.has_self = false;
+  for (std::size_t o = 0; o < G; ++o) {
+    ws.send_peers[o] = layout::mask_plan_dest(from, to, ws.plan, rank, o);
+    ws.recv_peers[o] = layout::mask_plan_src(from, to, ws.plan, rank, o);
+    if (ws.send_peers[o] == rank) {
+      ws.has_self = true;
+      ws.self_send = o;
+      ws.sizes[o] = 0;
+    } else {
+      ws.sizes[o] = M;
+    }
+  }
+  ws.from = from;
+  ws.to = to;
+}
+
+}  // namespace
+
 void remap_data_into(simd::Proc& p, const layout::BitLayout& from,
                      const layout::BitLayout& to, std::span<const std::uint32_t> in,
-                     std::span<std::uint32_t> out) {
+                     std::span<std::uint32_t> out, RemapWorkspace& ws) {
   assert(in.size() == out.size());
   assert(in.data() != out.data());
   const auto rank = static_cast<std::uint64_t>(p.rank());
-  layout::MaskPlan plan;
-  std::vector<std::uint64_t> send_peers;
-  std::vector<std::uint64_t> recv_peers;
-  std::vector<std::vector<std::uint32_t>> payloads;
-  bool has_self = false;
-  std::size_t self_send = 0;
 
-  // Pack: mask-plan construction plus one gather per key.
+  // Plan construction (cached across repeats of the same layout pair).
+  p.timed(simd::Phase::kPack, [&] { prepare_workspace(ws, from, to, rank); });
+
+  p.open_exchange(ws.send_peers, ws.sizes, ws.recv_peers);
+
+  // Pack: one gather per key, straight into the pooled arena.
   p.timed(simd::Phase::kPack, [&] {
-    plan = layout::build_mask_plan(from, to);
-    const std::size_t G = plan.group_size();
-    const std::size_t M = plan.message_size();
-    send_peers.resize(G);
-    recv_peers.resize(G);
-    payloads.resize(G);
-    for (std::size_t o = 0; o < G; ++o) {
-      send_peers[o] = layout::mask_plan_dest(from, to, plan, rank, o);
-      recv_peers[o] = layout::mask_plan_src(from, to, plan, rank, o);
-      if (send_peers[o] == rank) {
-        // Kept portion: scattered directly during unpack.
-        has_self = true;
-        self_send = o;
-        continue;
-      }
-      auto& msg = payloads[o];
-      msg.resize(M);
-      const std::uint32_t pat = plan.dest_pattern[o];
-      for (std::size_t j = 0; j < M; ++j) msg[j] = in[plan.kept_order[j] | pat];
+    const std::size_t M = ws.plan.message_size();
+    for (std::size_t o = 0; o < ws.plan.group_size(); ++o) {
+      if (ws.send_peers[o] == rank) continue;  // kept portion: scattered in unpack
+      auto msg = p.send_slot(o);
+      const std::uint32_t pat = ws.plan.dest_pattern[o];
+      for (std::size_t j = 0; j < M; ++j) msg[j] = in[ws.plan.kept_order[j] | pat];
     }
   });
 
-  auto received = p.exchange(send_peers, std::move(payloads), recv_peers);
+  p.commit_exchange();
 
   p.timed(simd::Phase::kUnpack, [&] {
-    const std::size_t M = plan.message_size();
-    for (std::size_t o = 0; o < plan.group_size(); ++o) {
-      const std::uint32_t spat = plan.src_pattern[o];
-      if (recv_peers[o] == rank) {
+    const std::size_t M = ws.plan.message_size();
+    for (std::size_t o = 0; o < ws.plan.group_size(); ++o) {
+      const std::uint32_t spat = ws.plan.src_pattern[o];
+      if (ws.recv_peers[o] == rank) {
         // Self portion: sender order and receiver order are both
         // ascending destination local address, so index j matches.
-        assert(has_self);
-        const std::uint32_t dpat = plan.dest_pattern[self_send];
+        assert(ws.has_self);
+        const std::uint32_t dpat = ws.plan.dest_pattern[ws.self_send];
         for (std::size_t j = 0; j < M; ++j) {
-          out[plan.recv_order[j] | spat] = in[plan.kept_order[j] | dpat];
+          out[ws.plan.recv_order[j] | spat] = in[ws.plan.kept_order[j] | dpat];
         }
       } else {
-        const auto& msg = received[o];
+        const auto msg = p.recv_view(o);
         assert(msg.size() == M);
         for (std::size_t j = 0; j < M; ++j) {
-          out[plan.recv_order[j] | spat] = msg[j];
+          out[ws.plan.recv_order[j] | spat] = msg[j];
         }
       }
     }
   });
-  (void)has_self;
+}
+
+void remap_data_into(simd::Proc& p, const layout::BitLayout& from,
+                     const layout::BitLayout& to, std::span<const std::uint32_t> in,
+                     std::span<std::uint32_t> out) {
+  RemapWorkspace ws;
+  remap_data_into(p, from, to, in, out, ws);
+}
+
+void remap_data(simd::Proc& p, const layout::BitLayout& from, const layout::BitLayout& to,
+                std::span<std::uint32_t> keys, std::vector<std::uint32_t>& scratch,
+                RemapWorkspace& ws) {
+  scratch.resize(keys.size());
+  remap_data_into(p, from, to, keys, std::span<std::uint32_t>(scratch.data(), scratch.size()),
+                  ws);
+  p.timed(simd::Phase::kUnpack,
+          [&] { std::copy(scratch.begin(), scratch.end(), keys.begin()); });
 }
 
 void remap_data(simd::Proc& p, const layout::BitLayout& from, const layout::BitLayout& to,
                 std::span<std::uint32_t> keys, std::vector<std::uint32_t>& scratch) {
-  scratch.resize(keys.size());
-  remap_data_into(p, from, to, keys, std::span<std::uint32_t>(scratch.data(), scratch.size()));
-  p.timed(simd::Phase::kUnpack,
-          [&] { std::copy(scratch.begin(), scratch.end(), keys.begin()); });
+  RemapWorkspace ws;
+  remap_data(p, from, to, keys, scratch, ws);
 }
 
 }  // namespace bsort::bitonic

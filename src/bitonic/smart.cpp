@@ -35,64 +35,56 @@ bool window_ascending(const BitLayout& lay, std::uint64_t rank, int stage) {
 /// subsequence of a sorted array); the receiver merges the runs by value
 /// straight into its output buffer, skipping both the scatter-unpack and
 /// the separate bitonic merge sort.  `src_ascending(s)` tells the run
-/// direction of source s.
+/// direction of source s.  Unlike the scatter remap, the self message IS
+/// staged in the arena (sized M like every other slot) so the merge can
+/// consume it as just another run via its recv view.
 template <class SrcAsc>
 void fused_inside_window(simd::Proc& p, std::span<const std::uint32_t> in,
                          std::span<std::uint32_t> out, const BitLayout& from,
-                         const BitLayout& to, int stage, SrcAsc&& src_ascending) {
+                         const BitLayout& to, int stage, SrcAsc&& src_ascending,
+                         RemapWorkspace& ws, std::vector<localsort::Run>& runs) {
   const auto rank = static_cast<std::uint64_t>(p.rank());
-  const std::uint64_t n = in.size();
 
-  layout::MaskPlan plan;
-  std::vector<std::uint64_t> send_peers;
-  std::vector<std::uint64_t> recv_peers;
-  std::vector<std::vector<std::uint32_t>> payloads;
   // A rank need not appear among its own peers: some remaps along a
   // schedule are asymmetric (a rank's send group and receive group are
   // different processor sets) and a rank may keep nothing.
-  bool has_self = false;
-  std::size_t self_send = 0;
   p.timed(simd::Phase::kPack, [&] {
-    plan = layout::build_mask_plan(from, to);
-    const std::size_t G = plan.group_size();
-    const std::size_t M = plan.message_size();
-    send_peers.resize(G);
-    recv_peers.resize(G);
-    payloads.resize(G);
-    for (std::size_t o = 0; o < G; ++o) {
-      send_peers[o] = layout::mask_plan_dest(from, to, plan, rank, o);
-      recv_peers[o] = layout::mask_plan_src(from, to, plan, rank, o);
-      if (send_peers[o] == rank) {
-        has_self = true;
-        self_send = o;
+    if (!ws.from || *ws.from != from || *ws.to != to) {
+      ws.plan = layout::build_mask_plan(from, to);
+      const std::size_t G = ws.plan.group_size();
+      ws.send_peers.resize(G);
+      ws.recv_peers.resize(G);
+      ws.sizes.assign(G, ws.plan.message_size());
+      for (std::size_t o = 0; o < G; ++o) {
+        ws.send_peers[o] = layout::mask_plan_dest(from, to, ws.plan, rank, o);
+        ws.recv_peers[o] = layout::mask_plan_src(from, to, ws.plan, rank, o);
       }
+      ws.from = from;
+      ws.to = to;
+    }
+  });
+
+  p.open_exchange(ws.send_peers, ws.sizes, ws.recv_peers);
+
+  p.timed(simd::Phase::kPack, [&] {
+    const std::size_t M = ws.plan.message_size();
+    for (std::size_t o = 0; o < ws.plan.group_size(); ++o) {
       // Source-order packing: each message is a subsequence of this
       // rank's value-sorted array, hence a monotonic run.
-      auto& msg = payloads[o];
-      msg.resize(M);
-      const std::uint32_t pat = plan.dest_pattern[o];
+      auto msg = p.send_slot(o);
+      const std::uint32_t pat = ws.plan.dest_pattern[o];
       for (std::size_t j = 0; j < M; ++j) {
-        msg[j] = in[plan.kept_order_source[j] | pat];
+        msg[j] = in[ws.plan.kept_order_source[j] | pat];
       }
     }
   });
 
-  // Preserve the self payload (exchange() drops it).
-  std::vector<std::uint32_t> self_payload;
-  if (has_self) self_payload = std::move(payloads[self_send]);
-
-  auto received = p.exchange(send_peers, std::move(payloads), recv_peers);
-  for (std::size_t j = 0; j < recv_peers.size(); ++j) {
-    if (recv_peers[j] == rank) received[j] = std::move(self_payload);
-  }
+  p.commit_exchange();
 
   p.timed(simd::Phase::kUnpack, [&] {
-    std::vector<localsort::Run> runs;
-    runs.reserve(received.size());
-    for (std::size_t j = 0; j < received.size(); ++j) {
-      runs.push_back({std::span<const std::uint32_t>(received[j].data(),
-                                                     received[j].size()),
-                      src_ascending(recv_peers[j])});
+    runs.clear();
+    for (std::size_t j = 0; j < ws.recv_peers.size(); ++j) {
+      runs.push_back({p.recv_view(j), src_ascending(ws.recv_peers[j])});
     }
     localsort::pway_merge(runs, out);
     // Theorem 2: the window output is the value-sorted array in local
@@ -101,7 +93,6 @@ void fused_inside_window(simd::Proc& p, std::span<const std::uint32_t> in,
       std::reverse(out.begin(), out.end());
     }
   });
-  (void)n;
 }
 
 }  // namespace
@@ -109,6 +100,7 @@ void fused_inside_window(simd::Proc& p, std::span<const std::uint32_t> in,
 void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions& options) {
   const auto rank = static_cast<std::uint64_t>(p.rank());
   const int log_p = util::ilog2(static_cast<std::uint64_t>(p.nprocs()));
+  if (log_p == 0 && keys.size() < 2) return;  // single processor, <= 1 key
   const int log_n = util::ilog2(keys.size());
   assert(log_n >= 1 && "smart sort needs at least 2 keys per processor");
   const std::uint64_t n = keys.size();
@@ -130,6 +122,13 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
   BitLayout cur = BitLayout::blocked(log_n, log_p);
   int stage = log_n + 1;
   int step = log_n + 1;
+
+  // Pooled remap state, recycled across every remap of the schedule
+  // (separate workspaces: the fused path stages the self slot at full
+  // message size, the scatter path stages it empty).
+  RemapWorkspace remap_ws;
+  RemapWorkspace fused_ws;
+  std::vector<localsort::Run> fused_runs;
 
   // Double buffering: the remap scatters from one buffer into the other,
   // and each local phase merges back out-of-place — no copy-backs.
@@ -160,7 +159,8 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
     if (options.compute == SmartCompute::kFused && full_window &&
         sp.kind == SmartKind::kInside && fully_sorted) {
       // Remap + unpack + merge in one fused pass: a -> b.
-      fused_inside_window(p, a, b, cur, phase.layout, log_n + sp.k, src_dir);
+      fused_inside_window(p, a, b, cur, phase.layout, log_n + sp.k, src_dir,
+                          fused_ws, fused_runs);
       swap_buffers();
       cur = phase.layout;
       fully_sorted = true;
@@ -168,7 +168,7 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
     } else if (optimized && sp.kind == SmartKind::kInside) {
       // Theorem 2: the window's lg n steps are a complete bitonic merge
       // of the (bitonic) local array in the direction of stage lg n + k.
-      remap_data_into(p, cur, phase.layout, a, b);
+      remap_data_into(p, cur, phase.layout, a, b, remap_ws);
       p.timed(simd::Phase::kCompute, [&] {
         const bool asc = window_ascending(phase.layout, rank, log_n + sp.k);
         if (asc) {
@@ -183,7 +183,7 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
     } else if (optimized && sp.kind == SmartKind::kLast) {
       // Final window: the remaining s steps complete the merge of each
       // 2^s block of the final (all-ascending) stage.
-      remap_data_into(p, cur, phase.layout, a, b);
+      remap_data_into(p, cur, phase.layout, a, b, remap_ws);
       p.timed(simd::Phase::kCompute, [&] {
         const std::uint64_t chunk = std::uint64_t{1} << sp.s;
         if (chunk <= 4) {
@@ -209,7 +209,7 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
       // a complete merge of each phase-2 chunk, which lives at stride
       // 2^a in the phase-1 arrangement — merged directly from there,
       // eliminating the intermediate shuffle.
-      remap_data_into(p, cur, phase.layout, a, b);
+      remap_data_into(p, cur, phase.layout, a, b, remap_ws);
       p.timed(simd::Phase::kCompute, [&] {
         const std::uint64_t chunk1 = std::uint64_t{1} << sp.a;
         const std::uint64_t half = std::uint64_t{1} << (sp.b - 1);
@@ -239,7 +239,7 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
     } else {
       // Generic path (partial windows or kCompareExchange): remap, then
       // simulate the steps one by one under the phase-1 layout.
-      remap_data_into(p, cur, phase.layout, a, b);
+      remap_data_into(p, cur, phase.layout, a, b, remap_ws);
       swap_buffers();
       const int st = stage, spp = step;
       p.timed(simd::Phase::kCompute, [&] {

@@ -45,6 +45,16 @@ void parallel_radix_sort(simd::Proc& p, std::vector<std::uint32_t>& keys) {
   std::vector<std::uint32_t> stable(n);
   std::vector<std::uint32_t> next(n);
 
+  // Buffers hoisted out of the pass loop so steady-state passes reuse
+  // capacity: exchange arenas live inside the Machine, and everything
+  // the algorithm itself needs is allocated once here.
+  const std::vector<std::size_t> hist_sizes(P, kBuckets);
+  std::vector<std::uint32_t> hist_flat(P * kBuckets);  // hist_flat[s*kBuckets+b]
+  std::vector<std::size_t> data_sizes(P);
+  std::vector<std::uint64_t> bucket_start(kBuckets + 1, 0);
+  std::vector<std::uint64_t> my_prefix(kBuckets, 0);  // keys of bucket b on procs < me
+  std::vector<std::size_t> cursor(P, 0);
+
   for (int pass = 0; pass < kPasses; ++pass) {
     const int shift = pass * kDigitBits;
     // Local histogram + stable local partition by digit.
@@ -60,80 +70,97 @@ void parallel_radix_sort(simd::Proc& p, std::vector<std::uint32_t>& keys) {
       for (const auto k : keys) stable[offset[(k >> shift) & (kBuckets - 1)]++] = k;
     });
 
-    // Allgather histograms.
-    std::vector<std::vector<std::uint32_t>> hist_payloads(P);
+    // Allgather histograms through the pooled arena; the self slot comes
+    // back as a recv view like any other, so no local fix-up is needed.
+    p.open_exchange(all_peers, hist_sizes, all_peers);
     p.timed(simd::Phase::kPack, [&] {
       for (std::uint64_t d = 0; d < P; ++d) {
-        hist_payloads[d].assign(count.begin(), count.end());
+        auto slot = p.send_slot(d);
+        std::copy(count.begin(), count.end(), slot.begin());
       }
     });
-    auto hists = p.exchange(all_peers, std::move(hist_payloads), all_peers);
-    hists[me].assign(count.begin(), count.end());
+    p.commit_exchange();
+    // Snapshot the views into a flat buffer: the data exchange below
+    // recycles the same arenas, so the histogram views must not be read
+    // after its open_exchange().
+    for (std::uint64_t s = 0; s < P; ++s) {
+      const auto v = p.recv_view(s);
+      assert(v.size() == static_cast<std::size_t>(kBuckets));
+      std::copy(v.begin(), v.end(), hist_flat.begin() + static_cast<std::ptrdiff_t>(s * kBuckets));
+    }
 
     // Global bucket starts and per-source prefixes.
-    std::vector<std::uint64_t> bucket_start(kBuckets + 1, 0);
-    std::vector<std::uint64_t> my_prefix(kBuckets, 0);  // keys of bucket b on procs < me
     p.timed(simd::Phase::kCompute, [&] {
+      std::fill(my_prefix.begin(), my_prefix.end(), 0);
       for (int b = 0; b < kBuckets; ++b) {
         std::uint64_t total = 0;
         for (std::uint64_t s = 0; s < P; ++s) {
-          if (s < me) my_prefix[static_cast<std::size_t>(b)] += hists[s][static_cast<std::size_t>(b)];
-          total += hists[s][static_cast<std::size_t>(b)];
+          const std::uint64_t h = hist_flat[s * kBuckets + static_cast<std::uint64_t>(b)];
+          if (s < me) my_prefix[static_cast<std::size_t>(b)] += h;
+          total += h;
         }
         bucket_start[static_cast<std::size_t>(b) + 1] =
             bucket_start[static_cast<std::size_t>(b)] + total;
       }
     });
 
-    // Build per-destination messages: walking `stable` (bucket-major,
+    // Per-destination message sizes: walking `stable` (bucket-major,
     // locally stable) visits strictly increasing global destination
-    // indices, so destinations are non-decreasing.
-    std::vector<std::vector<std::uint32_t>> payloads(P);
+    // indices, so each bucket's segment [g, g+c) splits across
+    // consecutive n-sized destination blocks.
     p.timed(simd::Phase::kPack, [&] {
+      std::fill(data_sizes.begin(), data_sizes.end(), 0);
+      for (int b = 0; b < kBuckets; ++b) {
+        std::uint64_t g = bucket_start[static_cast<std::size_t>(b)] +
+                          my_prefix[static_cast<std::size_t>(b)];
+        std::uint64_t c = count[static_cast<std::size_t>(b)];
+        while (c > 0) {
+          const std::uint64_t d = g / n;
+          const std::uint64_t take = std::min(c, (d + 1) * n - g);
+          data_sizes[d] += take;
+          g += take;
+          c -= take;
+        }
+      }
+    });
+
+    p.open_exchange(all_peers, data_sizes, all_peers);
+    p.timed(simd::Phase::kPack, [&] {
+      std::fill(cursor.begin(), cursor.end(), 0);
       std::size_t idx = 0;
       for (int b = 0; b < kBuckets; ++b) {
         std::uint64_t g = bucket_start[static_cast<std::size_t>(b)] +
                           my_prefix[static_cast<std::size_t>(b)];
         const std::uint32_t c = count[static_cast<std::size_t>(b)];
         for (std::uint32_t q = 0; q < c; ++q, ++g, ++idx) {
-          payloads[g / n].push_back(stable[idx]);
+          const std::uint64_t d = g / n;
+          p.send_slot(d)[cursor[d]++] = stable[idx];
         }
       }
     });
-    auto received = p.exchange(all_peers, std::move(payloads), all_peers);
+    p.commit_exchange();
 
     // Placement: for each (bucket, source) segment that intersects my
     // global range, consume the source's message sequentially (messages
-    // arrive ordered by increasing global index).
+    // arrive ordered by increasing global index).  The self message is
+    // just recv_view(me).
     p.timed(simd::Phase::kUnpack, [&] {
       const std::uint64_t lo = me * n;
       const std::uint64_t hi = lo + n;
-      std::vector<std::size_t> cursor(P, 0);
-      // Recover the self message (exchange() skipped it).
-      std::vector<std::uint32_t> self_msg;
-      {
-        std::size_t idx = 0;
-        for (int b = 0; b < kBuckets; ++b) {
-          std::uint64_t g = bucket_start[static_cast<std::size_t>(b)] +
-                            my_prefix[static_cast<std::size_t>(b)];
-          const std::uint32_t c = count[static_cast<std::size_t>(b)];
-          for (std::uint32_t q = 0; q < c; ++q, ++g, ++idx) {
-            if (g / n == me) self_msg.push_back(stable[idx]);
-          }
-        }
-        received[me] = std::move(self_msg);
-      }
+      std::fill(cursor.begin(), cursor.end(), 0);
       for (int b = 0; b < kBuckets; ++b) {
         std::uint64_t seg = bucket_start[static_cast<std::size_t>(b)];
         for (std::uint64_t s = 0; s < P; ++s) {
-          const std::uint64_t cnt = hists[s][static_cast<std::size_t>(b)];
+          const std::uint64_t cnt = hist_flat[s * kBuckets + static_cast<std::uint64_t>(b)];
           const std::uint64_t seg_lo = seg;
           const std::uint64_t seg_hi = seg + cnt;
           seg = seg_hi;
           const std::uint64_t from = std::max(seg_lo, lo);
           const std::uint64_t to = std::min(seg_hi, hi);
+          if (from >= to) continue;
+          const auto msg = p.recv_view(s);
           for (std::uint64_t g = from; g < to; ++g) {
-            next[g - lo] = received[s][cursor[s]++];
+            next[g - lo] = msg[cursor[s]++];
           }
         }
       }

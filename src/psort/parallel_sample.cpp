@@ -25,7 +25,9 @@ void parallel_sample_sort(simd::Proc& p, std::vector<std::uint32_t>& keys, int o
   std::iota(all_peers.begin(), all_peers.end(), 0);
 
   // Phase 2: oversample and allgather; every processor derives the same
-  // P-1 splitters from the combined sample.
+  // P-1 splitters from the combined sample.  The allgather goes through
+  // the pooled arena: every slot (self included) carries the sample, and
+  // the self copy comes back as recv_view(me) with no fix-up.
   const auto s = static_cast<std::uint64_t>(oversample);
   std::vector<std::uint32_t> my_sample;
   p.timed(simd::Phase::kCompute, [&] {
@@ -34,15 +36,22 @@ void parallel_sample_sort(simd::Proc& p, std::vector<std::uint32_t>& keys, int o
       my_sample.push_back(keys[(i + 1) * n / (s + 1)]);
     }
   });
-  std::vector<std::vector<std::uint32_t>> sample_payloads(P, my_sample);
-  auto samples = p.exchange(all_peers, std::move(sample_payloads), all_peers);
-  samples[me] = my_sample;
+  const std::vector<std::size_t> sample_sizes(P, my_sample.size());
+  p.open_exchange(all_peers, sample_sizes, all_peers);
+  for (std::uint64_t d = 0; d < P; ++d) {
+    auto slot = p.send_slot(d);
+    std::copy(my_sample.begin(), my_sample.end(), slot.begin());
+  }
+  p.commit_exchange();
 
   std::vector<std::uint32_t> splitters;
   p.timed(simd::Phase::kCompute, [&] {
     std::vector<std::uint32_t> all;
     all.reserve(P * s);
-    for (const auto& v : samples) all.insert(all.end(), v.begin(), v.end());
+    for (std::uint64_t src = 0; src < P; ++src) {
+      const auto v = p.recv_view(src);
+      all.insert(all.end(), v.begin(), v.end());
+    }
     localsort::radix_sort(std::span<std::uint32_t>(all.data(), all.size()), scratch);
     splitters.reserve(P - 1);
     for (std::uint64_t i = 1; i < P; ++i) {
@@ -51,33 +60,38 @@ void parallel_sample_sort(simd::Proc& p, std::vector<std::uint32_t>& keys, int o
   });
 
   // Phase 3: partition the sorted run by the splitters and exchange.
-  std::vector<std::vector<std::uint32_t>> payloads(P);
+  // Partition boundaries are found first (sizes must be known before
+  // open_exchange), then each segment is copied straight into its slot.
+  std::vector<std::size_t> part_begin(P + 1, 0);
   p.timed(simd::Phase::kPack, [&] {
-    std::size_t begin = 0;
-    for (std::uint64_t d = 0; d < P; ++d) {
-      const std::size_t end =
-          d + 1 < P
-              ? static_cast<std::size_t>(
-                    std::upper_bound(keys.begin(), keys.end(), splitters[d]) - keys.begin())
-              : keys.size();
-      payloads[d].assign(keys.begin() + static_cast<std::ptrdiff_t>(begin),
-                         keys.begin() + static_cast<std::ptrdiff_t>(end));
-      begin = end;
+    part_begin[P] = keys.size();
+    for (std::uint64_t d = 0; d + 1 < P; ++d) {
+      part_begin[d + 1] = static_cast<std::size_t>(
+          std::upper_bound(keys.begin(), keys.end(), splitters[d]) - keys.begin());
     }
   });
-  std::vector<std::uint32_t> self_part = payloads[me];
-  auto received = p.exchange(all_peers, std::move(payloads), all_peers);
-  received[me] = std::move(self_part);
+  std::vector<std::size_t> part_sizes(P);
+  for (std::uint64_t d = 0; d < P; ++d) part_sizes[d] = part_begin[d + 1] - part_begin[d];
+  p.open_exchange(all_peers, part_sizes, all_peers);
+  p.timed(simd::Phase::kPack, [&] {
+    for (std::uint64_t d = 0; d < P; ++d) {
+      auto slot = p.send_slot(d);
+      std::copy(keys.begin() + static_cast<std::ptrdiff_t>(part_begin[d]),
+                keys.begin() + static_cast<std::ptrdiff_t>(part_begin[d + 1]), slot.begin());
+    }
+  });
+  p.commit_exchange();
 
-  // Phase 4: p-way merge of the P sorted runs.
+  // Phase 4: p-way merge of the P sorted runs, read in place from the
+  // pooled views (the self run is recv_view(me)).
   p.timed(simd::Phase::kCompute, [&] {
     std::size_t total = 0;
-    for (const auto& r : received) total += r.size();
+    for (std::uint64_t src = 0; src < P; ++src) total += p.recv_view(src).size();
     keys.resize(total);
     std::vector<localsort::Run> runs;
-    runs.reserve(received.size());
-    for (const auto& r : received) {
-      runs.push_back({std::span<const std::uint32_t>(r.data(), r.size()), true});
+    runs.reserve(P);
+    for (std::uint64_t src = 0; src < P; ++src) {
+      runs.push_back({p.recv_view(src), true});
     }
     localsort::pway_merge(runs, std::span<std::uint32_t>(keys.data(), keys.size()));
   });

@@ -6,6 +6,7 @@
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -15,6 +16,8 @@
 namespace bsort::simd {
 
 const PhaseBreakdown& RunReport::critical_phases() const {
+  static const PhaseBreakdown kEmpty{};
+  if (proc_us.empty()) return kEmpty;
   const auto it = std::max_element(proc_us.begin(), proc_us.end());
   return proc_phases[static_cast<std::size_t>(it - proc_us.begin())];
 }
@@ -29,34 +32,113 @@ CommStats RunReport::total_comm() const {
   return t;
 }
 
-/// Clock-synchronizing sense barrier plus the mailbox matrix.
+namespace {
+
+/// Thrown into VPs blocked on (or arriving at) a poisoned barrier so they
+/// unwind instead of deadlocking when a peer VP died with an exception.
+/// Caught by the worker loop; never escapes Machine::run.
+struct BarrierPoison {};
+
+double thread_now_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e6 + static_cast<double>(ts.tv_nsec) * 1e-3;
+}
+
+/// True when timed sections should use the per-thread CPU clock and run
+/// without serialization: the clock must tick finely enough (<= 1us)
+/// AND the host must actually be able to run VPs concurrently.  On a
+/// single-hardware-thread host there is no concurrency to unlock, and
+/// CLOCK_THREAD_CPUTIME_ID reads are real syscalls (~5x the cost of the
+/// vDSO monotonic clock), so the sharded-lock fallback is strictly
+/// cheaper there.
+bool probe_thread_clock() {
+  if (const char* env = std::getenv("BSORT_FORCE_SHARDED_TIMING")) {
+    if (env[0] == '1') return false;
+  }
+  if (const char* env = std::getenv("BSORT_FORCE_THREAD_TIMING")) {
+    if (env[0] == '1') return true;
+  }
+  if (std::thread::hardware_concurrency() < 2) return false;
+  timespec res{};
+  if (clock_getres(CLOCK_THREAD_CPUTIME_ID, &res) != 0) return false;
+  return res.tv_sec == 0 && res.tv_nsec <= 1000;
+}
+
+}  // namespace
+
+/// Persistent per-VP exchange buffers, recycled across exchanges and
+/// across run() calls.
+struct VpState {
+  std::vector<std::uint32_t> arena;       ///< staging area for outgoing payloads
+  std::vector<std::uint64_t> send_peers;  ///< pattern of the open exchange
+  std::vector<std::uint64_t> recv_peers;
+  std::vector<std::size_t> slot_off;
+  std::vector<std::size_t> slot_len;
+  std::vector<std::span<const std::uint32_t>> recv_views;
+  std::size_t self_slot = static_cast<std::size_t>(-1);
+  bool open = false;
+};
+
+/// Clock-synchronizing sense barrier, a host-only drain barrier, the
+/// span mailbox and the persistent worker pool.
 struct Machine::Impl {
-  explicit Impl(int nprocs)
+  /// One mailbox cell: a view into the sending VP's arena.  Written by
+  /// src at open_exchange (after the drain barrier), read and reset by
+  /// dst at commit_exchange (after the sync barrier); the barriers make
+  /// every access race-free.
+  struct Cell {
+    const std::uint32_t* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  explicit Impl(int nprocs, int timing_shards)
       : nprocs(nprocs),
-        procs_clock(static_cast<std::size_t>(nprocs), 0.0),
-        mailbox(static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs)) {}
+        cells(static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs)),
+        vps(static_cast<std::size_t>(nprocs)),
+        timed_shards(static_cast<std::size_t>(timing_shards)),
+        errors(static_cast<std::size_t>(nprocs)) {}
 
   int nprocs;
-  std::mutex timed_mu;  ///< serializes Proc::timed sections
+
+  // ---- barrier state (guarded by mu) --------------------------------
   std::mutex mu;
   std::condition_variable cv;
-  int waiting = 0;
+  int waiting = 0;                 ///< clock barrier participants so far
   std::uint64_t generation = 0;
   double max_clock = 0;
-  std::vector<double> procs_clock;
+  double barrier_result = 0;
+  int h_waiting = 0;               ///< host (drain) barrier participants
+  std::uint64_t h_generation = 0;
+  bool poisoned = false;           ///< a VP died; all barriers throw
 
-  // mailbox[dst * P + src]: written by src between two barriers, read by
-  // dst after the second; barrier separation makes cells race-free.
-  std::vector<std::vector<std::uint32_t>> mailbox;
+  std::vector<Cell> cells;  ///< cells[dst * P + src]
+  std::vector<VpState> vps;
 
-  std::vector<std::uint32_t>& box(int dst, int src) {
-    return mailbox[static_cast<std::size_t>(dst) * static_cast<std::size_t>(nprocs) +
-                   static_cast<std::size_t>(src)];
+  bool thread_clock = false;
+  std::vector<std::mutex> timed_shards;  ///< fallback timing locks
+
+  // ---- worker pool (guarded by run_mu) ------------------------------
+  std::mutex run_mu;
+  std::condition_variable run_cv;   ///< workers wait for a new run
+  std::condition_variable done_cv;  ///< run() waits for completion
+  std::uint64_t run_id = 0;
+  bool stopping = false;
+  const std::function<void(Proc&)>* program = nullptr;
+  Proc* procs = nullptr;
+  int done = 0;
+  std::vector<std::exception_ptr> errors;
+  std::vector<std::thread> workers;
+
+  Cell& cell(int dst, int src) {
+    return cells[static_cast<std::size_t>(dst) * static_cast<std::size_t>(nprocs) +
+                 static_cast<std::size_t>(src)];
   }
 
   /// Wait for all VPs; returns the max clock over participants.
   double barrier_sync(double my_clock) {
     std::unique_lock<std::mutex> lk(mu);
+    if (poisoned) throw BarrierPoison{};
     max_clock = std::max(max_clock, my_clock);
     if (++waiting == nprocs) {
       waiting = 0;
@@ -68,26 +150,102 @@ struct Machine::Impl {
       return result;
     }
     const std::uint64_t gen = generation;
-    cv.wait(lk, [&] { return generation != gen; });
+    cv.wait(lk, [&] { return generation != gen || poisoned; });
+    if (generation == gen) throw BarrierPoison{};  // woken by poison only
     return barrier_result;
   }
 
-  double barrier_result = 0;
+  /// Host-synchronization barrier with no effect on simulated clocks.
+  /// Used as the drain point before arenas are rewritten.
+  void host_barrier() {
+    std::unique_lock<std::mutex> lk(mu);
+    if (poisoned) throw BarrierPoison{};
+    if (++h_waiting == nprocs) {
+      h_waiting = 0;
+      ++h_generation;
+      cv.notify_all();
+      return;
+    }
+    const std::uint64_t gen = h_generation;
+    cv.wait(lk, [&] { return h_generation != gen || poisoned; });
+    if (h_generation == gen) throw BarrierPoison{};
+  }
+
+  void poison() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      poisoned = true;
+    }
+    cv.notify_all();
+  }
+
+  void reset_barriers() {
+    std::lock_guard<std::mutex> lk(mu);
+    waiting = 0;
+    h_waiting = 0;
+    max_clock = 0;
+    poisoned = false;
+  }
+
+  void worker_loop(int rank) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(Proc&)>* prog;
+      Proc* proc;
+      {
+        std::unique_lock<std::mutex> lk(run_mu);
+        run_cv.wait(lk, [&] { return stopping || run_id != seen; });
+        if (stopping) return;
+        seen = run_id;
+        prog = program;
+        proc = &procs[rank];
+      }
+      try {
+        (*prog)(*proc);
+      } catch (const BarrierPoison&) {
+        // A peer died; this VP unwound cleanly through the poisoned
+        // barrier and carries no error of its own.
+      } catch (...) {
+        errors[static_cast<std::size_t>(rank)] = std::current_exception();
+        poison();
+      }
+      {
+        std::lock_guard<std::mutex> lk(run_mu);
+        if (++done == nprocs) done_cv.notify_all();
+      }
+    }
+  }
 };
 
 Machine::Machine(int nprocs, loggp::Params params, MessageMode mode, double cpu_scale)
-    : nprocs_(nprocs),
-      params_(params),
-      mode_(mode),
-      cpu_scale_(cpu_scale),
-      impl_(new Impl(nprocs)) {
+    : nprocs_(nprocs), params_(params), mode_(mode), cpu_scale_(cpu_scale) {
   assert(nprocs >= 1);
   assert(cpu_scale > 0);
+  // Fallback shard count: no more concurrent timed sections than the
+  // host can run without cross-VP interference (at least one shard).
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int shards = std::max(1, std::min(nprocs, hw / 2));
+  impl_ = new Impl(nprocs, shards);
+  impl_->thread_clock = probe_thread_clock();
+  impl_->workers.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    impl_->workers.emplace_back([this, r] { impl_->worker_loop(r); });
+  }
 }
 
-double Proc::cpu_scale() const { return machine_.cpu_scale_; }
+Machine::~Machine() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->run_mu);
+    impl_->stopping = true;
+  }
+  impl_->run_cv.notify_all();
+  for (auto& t : impl_->workers) t.join();
+  delete impl_;
+}
 
-Machine::~Machine() { delete impl_; }
+bool Machine::concurrent_timing() const { return impl_->thread_clock; }
+
+double Proc::cpu_scale() const { return machine_.cpu_scale_; }
 
 MessageMode Proc::mode() const { return machine_.mode(); }
 const loggp::Params& Proc::params() const { return machine_.params(); }
@@ -98,8 +256,26 @@ double Proc::now_us() {
   return static_cast<double>(ts.tv_sec) * 1e6 + static_cast<double>(ts.tv_nsec) * 1e-3;
 }
 
-void Proc::timed_lock() { machine_.impl_->timed_mu.lock(); }
-void Proc::timed_unlock() { machine_.impl_->timed_mu.unlock(); }
+Proc::TimedToken Proc::timed_begin() {
+  auto& impl = *machine_.impl_;
+  if (impl.thread_clock) return {thread_now_us(), -1};
+  const int shard = rank_ % static_cast<int>(impl.timed_shards.size());
+  impl.timed_shards[static_cast<std::size_t>(shard)].lock();
+  return {now_us(), shard};
+}
+
+double Proc::timed_end(const TimedToken& tok) {
+  if (tok.shard < 0) return thread_now_us() - tok.t0;
+  const double dt = now_us() - tok.t0;
+  machine_.impl_->timed_shards[static_cast<std::size_t>(tok.shard)].unlock();
+  return dt;
+}
+
+void Proc::timed_abort(const TimedToken& tok) {
+  if (tok.shard >= 0) {
+    machine_.impl_->timed_shards[static_cast<std::size_t>(tok.shard)].unlock();
+  }
+}
 
 void Proc::charge(Phase phase, double us) {
   clock_us_ += us;
@@ -108,42 +284,85 @@ void Proc::charge(Phase phase, double us) {
 
 void Proc::barrier() { clock_us_ = machine_.impl_->barrier_sync(clock_us_); }
 
-std::vector<std::vector<std::uint32_t>> Proc::exchange(
-    std::span<const std::uint64_t> send_peers,
-    std::vector<std::vector<std::uint32_t>> payloads,
-    std::span<const std::uint64_t> recv_peers) {
-  assert(send_peers.size() == payloads.size());
+void Proc::open_exchange(std::span<const std::uint64_t> send_peers,
+                         std::span<const std::size_t> send_sizes,
+                         std::span<const std::uint64_t> recv_peers) {
+  assert(send_peers.size() == send_sizes.size());
   auto& impl = *machine_.impl_;
+  auto& vp = *vp_;
+  assert(!vp.open && "open_exchange while an exchange is already open");
 
-  // Deposit phase.  The barrier before depositing guarantees previous
-  // receivers have drained their cells.
-  barrier();
-  std::uint64_t elements = 0;
-  std::uint64_t messages = 0;
+  // Drain point: after this barrier every VP has finished reading the
+  // views of the previous exchange, so arenas may be rewritten.  Host
+  // synchronization only — simulated clocks are untouched.
+  impl.host_barrier();
+
+  vp.send_peers.assign(send_peers.begin(), send_peers.end());
+  vp.recv_peers.assign(recv_peers.begin(), recv_peers.end());
+  vp.slot_off.resize(send_peers.size());
+  vp.slot_len.resize(send_peers.size());
+  vp.self_slot = static_cast<std::size_t>(-1);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < send_peers.size(); ++i) {
+    vp.slot_off[i] = total;
+    vp.slot_len[i] = send_sizes[i];
+    total += send_sizes[i];
+    if (static_cast<int>(send_peers[i]) == rank_) vp.self_slot = i;
+  }
+  vp.arena.resize(total);
+
+  // Publish the cells now (sizes are known); receivers dereference them
+  // only after the sync barrier in commit_exchange, by which time the
+  // slots are filled.
   for (std::size_t i = 0; i < send_peers.size(); ++i) {
     const auto dst = static_cast<int>(send_peers[i]);
-    if (dst == rank_) continue;  // kept portion: handled by the caller
-    elements += payloads[i].size();
-    messages += 1;
-    impl.box(dst, rank_) = std::move(payloads[i]);
+    if (dst == rank_) continue;
+    impl.cell(dst, rank_) = {vp.arena.data() + vp.slot_off[i], vp.slot_len[i]};
   }
+  vp.open = true;
+}
+
+std::span<std::uint32_t> Proc::send_slot(std::size_t i) {
+  auto& vp = *vp_;
+  assert(vp.open && i < vp.slot_off.size());
+  return {vp.arena.data() + vp.slot_off[i], vp.slot_len[i]};
+}
+
+void Proc::commit_exchange() {
+  auto& impl = *machine_.impl_;
+  auto& vp = *vp_;
+  assert(vp.open && "commit_exchange without open_exchange");
+
+  // Clock-synchronizing barrier: all slots are filled and globally
+  // visible afterwards.  Equivalent to the legacy double barrier (no
+  // time is charged between the two, so the second sync was a no-op).
   barrier();
 
-  // Collect phase.
-  std::vector<std::vector<std::uint32_t>> received;
-  received.reserve(recv_peers.size());
-  std::size_t self_index = recv_peers.size();
-  for (std::size_t i = 0; i < recv_peers.size(); ++i) {
-    const auto src = static_cast<int>(recv_peers[i]);
+  std::uint64_t elements = 0;
+  std::uint64_t messages = 0;
+  for (std::size_t i = 0; i < vp.send_peers.size(); ++i) {
+    if (static_cast<int>(vp.send_peers[i]) == rank_) continue;
+    elements += vp.slot_len[i];
+    messages += 1;
+  }
+
+  vp.recv_views.resize(vp.recv_peers.size());
+  for (std::size_t i = 0; i < vp.recv_peers.size(); ++i) {
+    const auto src = static_cast<int>(vp.recv_peers[i]);
     if (src == rank_) {
-      received.emplace_back();  // caller keeps its own portion
-      self_index = i;
+      // Kept portion: the VP's own staged slot (empty if none staged).
+      if (vp.self_slot != static_cast<std::size_t>(-1)) {
+        vp.recv_views[i] = {vp.arena.data() + vp.slot_off[vp.self_slot],
+                            vp.slot_len[vp.self_slot]};
+      } else {
+        vp.recv_views[i] = {};
+      }
       continue;
     }
-    received.push_back(std::move(impl.box(rank_, src)));
-    impl.box(rank_, src).clear();
+    auto& c = impl.cell(rank_, src);
+    vp.recv_views[i] = {c.data, c.size};
+    c = {};  // a peer that never deposits again reads back empty
   }
-  (void)self_index;
 
   // Charge communication time (Section 3.4).  Short messages: each key
   // is its own message.
@@ -161,44 +380,86 @@ std::vector<std::vector<std::uint32_t>> Proc::exchange(
   comm_.exchanges += 1;
   comm_.elements_sent += elements;
   comm_.messages_sent += messages;
+  vp.open = false;
+}
+
+std::span<const std::uint32_t> Proc::recv_view(std::size_t i) const {
+  assert(i < vp_->recv_views.size());
+  return vp_->recv_views[i];
+}
+
+std::size_t Proc::recv_view_count() const { return vp_->recv_views.size(); }
+
+std::vector<std::vector<std::uint32_t>> Proc::exchange(
+    std::span<const std::uint64_t> send_peers,
+    std::vector<std::vector<std::uint32_t>> payloads,
+    std::span<const std::uint64_t> recv_peers) {
+  assert(send_peers.size() == payloads.size());
+  std::vector<std::size_t> sizes(send_peers.size());
+  for (std::size_t i = 0; i < send_peers.size(); ++i) {
+    // Self payload is dropped by contract (kept portion is the caller's).
+    sizes[i] = static_cast<int>(send_peers[i]) == rank_ ? 0 : payloads[i].size();
+  }
+  open_exchange(send_peers, sizes, recv_peers);
+  for (std::size_t i = 0; i < send_peers.size(); ++i) {
+    if (sizes[i] == 0) continue;
+    std::copy(payloads[i].begin(), payloads[i].end(), send_slot(i).begin());
+  }
+  commit_exchange();
+
+  std::vector<std::vector<std::uint32_t>> received(recv_peers.size());
+  for (std::size_t i = 0; i < recv_peers.size(); ++i) {
+    if (static_cast<int>(recv_peers[i]) == rank_) continue;  // empty by contract
+    const auto view = recv_view(i);
+    received[i].assign(view.begin(), view.end());
+  }
   return received;
 }
 
 std::vector<std::uint32_t> Proc::exchange_with(std::uint64_t partner,
                                                std::vector<std::uint32_t> payload) {
   const std::uint64_t peers_arr[1] = {partner};
-  std::vector<std::vector<std::uint32_t>> payloads;
-  payloads.push_back(std::move(payload));
-  auto rec = exchange(std::span<const std::uint64_t>(peers_arr, 1), std::move(payloads),
-                      std::span<const std::uint64_t>(peers_arr, 1));
-  return std::move(rec[0]);
+  const std::size_t sizes_arr[1] = {
+      static_cast<int>(partner) == rank_ ? std::size_t{0} : payload.size()};
+  open_exchange(std::span<const std::uint64_t>(peers_arr, 1),
+                std::span<const std::size_t>(sizes_arr, 1),
+                std::span<const std::uint64_t>(peers_arr, 1));
+  if (sizes_arr[0] != 0) {
+    std::copy(payload.begin(), payload.end(), send_slot(0).begin());
+  }
+  commit_exchange();
+  const auto view = recv_view(0);
+  return {view.begin(), view.end()};
 }
 
 RunReport Machine::run(const std::function<void(Proc&)>& program) {
   const auto wall0 = std::chrono::steady_clock::now();
   std::vector<Proc> procs;
   procs.reserve(static_cast<std::size_t>(nprocs_));
-  for (int r = 0; r < nprocs_; ++r) procs.push_back(Proc(*this, r, nprocs_));
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nprocs_));
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs_));
   for (int r = 0; r < nprocs_; ++r) {
-    threads.emplace_back([&, r] {
-      try {
-        program(procs[static_cast<std::size_t>(r)]);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        // Keep the barrier protocol alive so peers do not deadlock: a VP
-        // that dies is treated as idling at every subsequent barrier.
-        // (Barrier calls below would be needed for that; instead we
-        // terminate the run by rethrowing after join — programs under
-        // test are expected not to throw mid-barrier.)
-      }
-    });
+    Proc p(*this, r, nprocs_);
+    p.vp_ = &impl_->vps[static_cast<std::size_t>(r)];
+    procs.push_back(p);
   }
-  for (auto& t : threads) t.join();
-  for (auto& e : errors) {
+
+  {
+    std::lock_guard<std::mutex> lk(impl_->run_mu);
+    impl_->program = &program;
+    impl_->procs = procs.data();
+    impl_->done = 0;
+    std::fill(impl_->errors.begin(), impl_->errors.end(), nullptr);
+    ++impl_->run_id;
+  }
+  impl_->run_cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(impl_->run_mu);
+    impl_->done_cv.wait(lk, [&] { return impl_->done == nprocs_; });
+  }
+
+  // Leave the machine reusable whether or not the run failed.
+  impl_->reset_barriers();
+  for (auto& vp : impl_->vps) vp.open = false;
+  for (auto& e : impl_->errors) {
     if (e) std::rethrow_exception(e);
   }
 

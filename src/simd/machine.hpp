@@ -3,17 +3,48 @@
 //
 // Each virtual processor (VP) runs the SPMD program on its own thread
 // with a private simulated clock (microseconds):
-//   * local computation is charged with the executing thread's CPU time
-//     (CLOCK_THREAD_CPUTIME_ID), which is immune to oversubscription of
-//     the host's physical cores;
+//   * local computation is charged with measured execution time of the
+//     timed section (see "Timing calibration" below);
 //   * communication is charged analytically with the LogP (short
 //     messages) or LogGP (long messages) formulas of Section 3.4, using
 //     the machine's parameter set;
 //   * barriers synchronize clocks to the maximum, BSP style.
 // Phase-tagged accounting (compute / pack / transfer / unpack) feeds the
 // breakdown experiments (Figures 5.4 and 5.6, Table 5.4).
+//
+// Timing calibration
+// ------------------
+// At construction the Machine probes the resolution of the per-thread
+// CPU clock (CLOCK_THREAD_CPUTIME_ID).  When the clock is fine enough
+// (<= 1us tick) and the host has at least two hardware threads, every
+// Proc::timed section is measured with the calling thread's own CPU
+// clock and runs with NO machine-wide serialization: local phases of
+// different VPs execute concurrently on the host, and each VP is still
+// charged exactly its own CPU cost (thread-CPU time is immune to
+// oversubscription of the physical cores).  When the thread clock is
+// too coarse (some platforms tick at 10ms), or the host is
+// single-threaded (no concurrency to unlock, and thread-CPU reads are
+// plain syscalls while the monotonic clock is vDSO-fast), the machine
+// falls back to sharded timing locks — rank-interleaved mutexes sized
+// to the host's core count — and monotonic measurement, limiting
+// concurrent timed sections to what the host can run without one VP's
+// measurement absorbing another VP's work.  BSORT_FORCE_SHARDED_TIMING=1
+// forces the fallback, BSORT_FORCE_THREAD_TIMING=1 forces the
+// concurrent path (both used by the stress tests).
+//
+// Execution and buffer pooling
+// ----------------------------
+// A Machine owns one persistent worker thread per VP, created at
+// construction and reused by every run() — repeated runs pay no
+// thread-spawn cost.  Each VP also owns a persistent exchange arena: the
+// pooled exchange API (open_exchange / send_slot / commit_exchange /
+// recv_view) stages outgoing payloads in that arena and hands receivers
+// spans pointing directly into the senders' arenas, so a steady-state
+// remap performs zero heap allocations.  The legacy vector-based
+// exchange() is a compatibility wrapper over the pooled path.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -55,11 +86,15 @@ struct RunReport {
   double wall_seconds = 0;           ///< host wall time (diagnostic only)
 
   /// Breakdown of the critical-path VP (the one defining the makespan).
+  /// On an empty (default-constructed) report this returns a reference to
+  /// an all-zero breakdown instead of dereferencing past-the-end.
   [[nodiscard]] const PhaseBreakdown& critical_phases() const;
+  /// Totals over all VPs; all-zero on an empty report.
   [[nodiscard]] CommStats total_comm() const;
 };
 
 class Machine;
+struct VpState;
 
 /// Per-VP handle passed to the SPMD program.
 class Proc {
@@ -76,20 +111,21 @@ class Proc {
   /// machine's cpu_scale (used to model a slower processor than the
   /// host's, e.g. the 40 MHz SuperSparc of the Meiko CS-2).
   ///
-  /// Timed sections of all VPs are serialized by a machine-wide mutex and
-  /// measured with the monotonic clock: the host has fewer cores than the
-  /// machine has VPs, and thread-CPU clocks are too coarse (10 ms ticks
-  /// on this platform), so exclusive execution is the only way to charge
-  /// each VP what its local phase actually costs.  f() must not call
-  /// barrier()/exchange() (local phases never do).
+  /// Measured with the thread-CPU clock (concurrent across VPs) or under
+  /// a sharded timing lock when that clock is too coarse — see the
+  /// "Timing calibration" note at the top of this header.  f() must not
+  /// call barrier()/exchange()/open_exchange()/commit_exchange() (local
+  /// phases never do).
   template <class F>
   void timed(Phase phase, F&& f) {
-    timed_lock();
-    const double t0 = now_us();
-    f();
-    const double dt = now_us() - t0;
-    timed_unlock();
-    charge(phase, dt * cpu_scale());
+    const TimedToken tok = timed_begin();
+    try {
+      f();
+    } catch (...) {
+      timed_abort(tok);
+      throw;
+    }
+    charge(phase, timed_end(tok) * cpu_scale());
   }
 
   [[nodiscard]] double cpu_scale() const;
@@ -97,10 +133,48 @@ class Proc {
   /// Add `us` microseconds to this VP's clock under `phase`.
   void charge(Phase phase, double us);
 
-  /// All-to-all exchange.  payloads[i] goes to send_peers[i]; a self
-  /// entry is kept locally (not transmitted, not charged).  Returns the
-  /// payloads received from recv_peers, in that order.  Charges transfer
-  /// time per the machine's message mode and updates CommStats.
+  // ---- Pooled exchange (zero steady-state heap allocation) -----------
+  //
+  // Protocol: open_exchange() declares the peers and per-peer payload
+  // sizes and reserves slots in this VP's persistent arena (drain
+  // barrier inside — must be called collectively, like exchange());
+  // the caller then fills each send_slot(i) (typically inside a
+  // timed(kPack) section), and commit_exchange() publishes the slots,
+  // charges transfer time per the machine's message mode, and makes
+  // recv_view(i) valid.
+  //
+  // A send peer equal to rank() is staged in the arena but neither
+  // transmitted nor charged; the matching recv_view() returns that
+  // slot's contents (callers that skip packing the kept portion pass a
+  // zero size for the self slot).  Received views point into the sending
+  // VP's arena and remain valid until the next collective exchange; the
+  // drain barrier in open_exchange() guarantees no VP overwrites its
+  // arena while a peer may still be reading the previous views.
+
+  /// Declare the communication pattern of one exchange.  `send_sizes[i]`
+  /// is the element count destined to `send_peers[i]`.
+  void open_exchange(std::span<const std::uint64_t> send_peers,
+                     std::span<const std::size_t> send_sizes,
+                     std::span<const std::uint64_t> recv_peers);
+
+  /// Writable slot for the i-th send peer (valid after open_exchange).
+  [[nodiscard]] std::span<std::uint32_t> send_slot(std::size_t i);
+
+  /// Two-phase deposit/collect with BSP clock semantics identical to the
+  /// legacy exchange(); afterwards recv_view(i) is valid.
+  void commit_exchange();
+
+  /// Payload received from recv_peers[i] (valid after commit_exchange,
+  /// until the next collective exchange or barrier-separated write).
+  [[nodiscard]] std::span<const std::uint32_t> recv_view(std::size_t i) const;
+  [[nodiscard]] std::size_t recv_view_count() const;
+
+  /// All-to-all exchange (legacy vector API; wrapper over the pooled
+  /// path).  payloads[i] goes to send_peers[i]; a self entry is kept
+  /// locally (not transmitted, not charged) and its received slot comes
+  /// back empty.  Returns the payloads received from recv_peers, in that
+  /// order.  Charges transfer time per the machine's message mode and
+  /// updates CommStats.
   std::vector<std::vector<std::uint32_t>> exchange(
       std::span<const std::uint64_t> send_peers,
       std::vector<std::vector<std::uint32_t>> payloads,
@@ -119,8 +193,15 @@ class Proc {
   static double now_us();
 
  private:
-  void timed_lock();
-  void timed_unlock();
+  /// Opaque in-flight measurement: start stamp plus the timing-lock
+  /// shard held (-1 when the lock-free thread-CPU clock is in use).
+  struct TimedToken {
+    double t0;
+    int shard;
+  };
+  TimedToken timed_begin();
+  double timed_end(const TimedToken& tok);
+  void timed_abort(const TimedToken& tok);
 
   friend class Machine;
   Proc(Machine& m, int rank, int nprocs) : machine_(m), rank_(rank), nprocs_(nprocs) {}
@@ -128,6 +209,7 @@ class Proc {
   Machine& machine_;
   int rank_;
   int nprocs_;
+  VpState* vp_ = nullptr;  ///< persistent per-rank buffers (owned by Machine)
   double clock_us_ = 0;
   PhaseBreakdown phases_;
   CommStats comm_;
@@ -135,7 +217,8 @@ class Proc {
 
 /// The machine: P virtual processors, a LogGP parameter set and a message
 /// mode.  run() executes an SPMD program on all VPs and reports simulated
-/// times.
+/// times.  Worker threads and exchange arenas are created once per
+/// Machine and recycled across run() calls.
 class Machine {
  public:
   /// `cpu_scale` multiplies every measured compute time before charging
@@ -151,7 +234,14 @@ class Machine {
   [[nodiscard]] MessageMode mode() const { return mode_; }
   [[nodiscard]] const loggp::Params& params() const { return params_; }
 
+  /// True when timed sections use the lock-free per-thread CPU clock
+  /// (see "Timing calibration"); false in the sharded-lock fallback.
+  [[nodiscard]] bool concurrent_timing() const;
+
   /// Execute `program` on every VP (SPMD).  Blocks until all finish.
+  /// If a VP throws, the barrier is poisoned so every other VP unwinds
+  /// (no deadlock) and the first exception is rethrown here; the Machine
+  /// remains usable for subsequent runs.
   RunReport run(const std::function<void(Proc&)>& program);
 
  private:

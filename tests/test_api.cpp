@@ -98,6 +98,76 @@ TEST(ApiConfig, CpuScaleScalesComputeTime) {
             10 * r1.report.critical_phases().compute());
 }
 
+// --- Edge cases over every algorithm: empty input, P = 1, n = P --------
+//
+// Each case is gated on config_valid: an algorithm may reject a shape
+// (e.g. column sort's r >= 2(s-1)^2), but whenever it accepts one it
+// must actually sort it — no asserts, no deadlocks, no wrong output.
+
+class ApiEdgeCaseTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ApiEdgeCaseTest, EmptyInputIsValidAndSorts) {
+  Config cfg;
+  cfg.algorithm = GetParam();
+  for (const int P : {1, 8}) {
+    cfg.nprocs = P;
+    ASSERT_TRUE(config_valid(cfg, 0));
+    std::vector<std::uint32_t> keys;
+    const auto outcome = parallel_sort(keys, cfg);
+    EXPECT_TRUE(outcome.sorted);
+    EXPECT_TRUE(keys.empty());
+    EXPECT_EQ(outcome.report.proc_us.size(), static_cast<std::size_t>(P));
+    EXPECT_EQ(outcome.report.total_comm().elements_sent, 0u);
+  }
+}
+
+TEST_P(ApiEdgeCaseTest, SingleProcessorSmallInputs) {
+  Config cfg;
+  cfg.algorithm = GetParam();
+  cfg.nprocs = 1;
+  for (const std::size_t total : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    if (!config_valid(cfg, total)) continue;
+    auto keys = util::generate_keys(total, util::KeyDistribution::kUniform31, 11);
+    auto want = keys;
+    std::sort(want.begin(), want.end());
+    const auto outcome = parallel_sort(keys, cfg);
+    EXPECT_TRUE(outcome.sorted) << "total=" << total;
+    EXPECT_EQ(keys, want) << "total=" << total;
+  }
+  // P = 1 must be accepted by every algorithm for some modest size.
+  EXPECT_TRUE(config_valid(cfg, 1u << 10));
+}
+
+TEST_P(ApiEdgeCaseTest, OneKeyPerProcessorTimesP) {
+  // n = P (N = P^2): the boundary of cyclic-blocked's N >= P^2 shape
+  // rule and the smallest shape where every remap actually communicates.
+  Config cfg;
+  cfg.algorithm = GetParam();
+  cfg.nprocs = 4;
+  const std::size_t total = 16;
+  if (!config_valid(cfg, total)) GTEST_SKIP() << "shape rejected";
+  auto keys = util::generate_keys(total, util::KeyDistribution::kUniform31, 13);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  const auto outcome = parallel_sort(keys, cfg);
+  EXPECT_TRUE(outcome.sorted);
+  EXPECT_EQ(keys, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ApiEdgeCaseTest,
+    ::testing::Values(Algorithm::kSmartBitonic, Algorithm::kCyclicBlockedBitonic,
+                      Algorithm::kBlockedMergeBitonic, Algorithm::kNaiveBitonic,
+                      Algorithm::kParallelRadix, Algorithm::kSampleSort,
+                      Algorithm::kColumnSort),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string name(algorithm_name(info.param));
+      for (auto& c : name) {
+        if (c == '/' || c == '-') c = '_';
+      }
+      return name;
+    });
+
 TEST(ApiNames, AllDistinct) {
   EXPECT_EQ(algorithm_name(Algorithm::kSmartBitonic), "bitonic/smart");
   EXPECT_EQ(algorithm_name(Algorithm::kColumnSort), "column");

@@ -139,5 +139,53 @@ TEST(Machine, ExceptionPropagates) {
                std::runtime_error);
 }
 
+TEST(Machine, ThrowingVpPoisonsBarrier) {
+  // Regression: a VP that throws before reaching a barrier used to leave
+  // its peers blocked in pthread_cond_wait forever.  The poisoned
+  // barrier must unwind every waiter and run() must rethrow.
+  const int P = 8;
+  Machine m(P, loggp::meiko_cs2(), MessageMode::kLong);
+  EXPECT_THROW(m.run([&](Proc& p) {
+                 if (p.rank() == 3) throw std::runtime_error("vp 3 died");
+                 p.barrier();
+                 p.barrier();  // never completes; poison unwinds us here
+               }),
+               std::runtime_error);
+}
+
+TEST(Machine, ThrowingVpUnwindsPeersInsideExchange) {
+  // Same, with the survivors parked inside the exchange protocol rather
+  // than a plain barrier.
+  const int P = 4;
+  Machine m(P, loggp::meiko_cs2(), MessageMode::kLong);
+  EXPECT_THROW(m.run([&](Proc& p) {
+                 if (p.rank() == 0) throw std::runtime_error("early exit");
+                 const auto partner = static_cast<std::uint64_t>(p.rank() ^ 1);
+                 p.exchange_with(partner, {1u, 2u, 3u});
+               }),
+               std::runtime_error);
+}
+
+TEST(Machine, MachineUsableAfterThrow) {
+  const int P = 4;
+  Machine m(P, loggp::meiko_cs2(), MessageMode::kLong);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(m.run([&](Proc& p) {
+                   if (p.rank() == round) throw std::runtime_error("boom");
+                   p.barrier();
+                 }),
+                 std::runtime_error);
+    // The poisoned barrier must be fully reset: a healthy run on the
+    // same Machine still exchanges and reports correctly.
+    auto rep = m.run([&](Proc& p) {
+      auto got = p.exchange_with(static_cast<std::uint64_t>(p.rank() ^ 1),
+                                 {static_cast<std::uint32_t>(p.rank())});
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0], static_cast<std::uint32_t>(p.rank() ^ 1));
+    });
+    EXPECT_EQ(rep.proc_us.size(), static_cast<std::size_t>(P));
+  }
+}
+
 }  // namespace
 }  // namespace bsort::simd

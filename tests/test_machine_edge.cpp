@@ -115,6 +115,140 @@ TEST(MachineEdge, CpuScaleMultipliesCharges) {
   EXPECT_GT(rep.makespan_us, 5 * rep1.makespan_us);
 }
 
+TEST(MachineEdge, EmptyReportCriticalPhasesIsZero) {
+  // Regression: critical_phases() on a default-constructed report used
+  // to index max_element(proc_us) on an empty vector — UB.  It now
+  // returns an all-zero breakdown, and total_comm() is well-defined.
+  const RunReport rep;
+  const auto& ph = rep.critical_phases();
+  EXPECT_DOUBLE_EQ(ph.total(), 0.0);
+  EXPECT_DOUBLE_EQ(ph.compute(), 0.0);
+  EXPECT_DOUBLE_EQ(ph.transfer(), 0.0);
+  const auto comm = rep.total_comm();
+  EXPECT_EQ(comm.exchanges, 0u);
+  EXPECT_EQ(comm.elements_sent, 0u);
+  EXPECT_EQ(comm.messages_sent, 0u);
+  EXPECT_DOUBLE_EQ(rep.makespan_us, 0.0);
+}
+
+TEST(MachineEdge, PooledExchangeDeliversViews) {
+  // All-to-all through the arena: rank r sends (r+1) copies of r to
+  // every peer, including itself; every view must match.
+  const int P = 4;
+  Machine m(P, loggp::meiko_cs2(), MessageMode::kLong);
+  m.run([&](Proc& p) {
+    std::vector<std::uint64_t> peers(P);
+    std::iota(peers.begin(), peers.end(), 0);
+    std::vector<std::size_t> sizes(P, static_cast<std::size_t>(p.rank()) + 1);
+    p.open_exchange(peers, sizes, peers);
+    for (int d = 0; d < P; ++d) {
+      auto slot = p.send_slot(static_cast<std::size_t>(d));
+      std::fill(slot.begin(), slot.end(), static_cast<std::uint32_t>(p.rank()));
+    }
+    p.commit_exchange();
+    ASSERT_EQ(p.recv_view_count(), static_cast<std::size_t>(P));
+    for (int s = 0; s < P; ++s) {
+      const auto v = p.recv_view(static_cast<std::size_t>(s));
+      ASSERT_EQ(v.size(), static_cast<std::size_t>(s) + 1);
+      for (const auto x : v) EXPECT_EQ(x, static_cast<std::uint32_t>(s));
+    }
+  });
+}
+
+TEST(MachineEdge, PooledChargesMatchLegacyExchange) {
+  // Transfer charging is analytic, so the pooled protocol must produce
+  // bit-identical charges and CommStats to the legacy vector API for
+  // the same communication pattern.
+  const int P = 4;
+  const std::size_t kMsg = 64;
+  const auto run_legacy = [&](MessageMode mode) {
+    Machine m(P, loggp::meiko_cs2(), mode);
+    return m.run([&](Proc& p) {
+      std::vector<std::uint64_t> peers(P);
+      std::iota(peers.begin(), peers.end(), 0);
+      std::vector<std::vector<std::uint32_t>> payloads(
+          P, std::vector<std::uint32_t>(kMsg, 1u));
+      p.exchange(peers, std::move(payloads), peers);
+    });
+  };
+  const auto run_pooled = [&](MessageMode mode) {
+    Machine m(P, loggp::meiko_cs2(), mode);
+    return m.run([&](Proc& p) {
+      std::vector<std::uint64_t> peers(P);
+      std::iota(peers.begin(), peers.end(), 0);
+      std::vector<std::size_t> sizes(P, kMsg);
+      p.open_exchange(peers, sizes, peers);
+      for (int d = 0; d < P; ++d) {
+        auto slot = p.send_slot(static_cast<std::size_t>(d));
+        std::fill(slot.begin(), slot.end(), 1u);
+      }
+      p.commit_exchange();
+    });
+  };
+  for (const auto mode : {MessageMode::kLong, MessageMode::kShort}) {
+    const auto legacy = run_legacy(mode);
+    const auto pooled = run_pooled(mode);
+    ASSERT_EQ(legacy.proc_phases.size(), pooled.proc_phases.size());
+    for (int r = 0; r < P; ++r) {
+      const auto idx = static_cast<std::size_t>(r);
+      EXPECT_DOUBLE_EQ(legacy.proc_phases[idx].transfer(),
+                       pooled.proc_phases[idx].transfer());
+    }
+    const auto lc = legacy.total_comm();
+    const auto pc = pooled.total_comm();
+    EXPECT_EQ(lc.exchanges, pc.exchanges);
+    EXPECT_EQ(lc.elements_sent, pc.elements_sent);
+    EXPECT_EQ(lc.messages_sent, pc.messages_sent);
+  }
+}
+
+TEST(MachineEdge, PooledViewsValidUntilNextOpen) {
+  // Views point into the senders' arenas; they must survive until the
+  // next open_exchange() (which drains readers before reusing arenas).
+  const int P = 2;
+  Machine m(P, loggp::meiko_cs2(), MessageMode::kLong);
+  m.run([&](Proc& p) {
+    const std::uint64_t partner = static_cast<std::uint64_t>(1 - p.rank());
+    std::span<const std::uint32_t> first;
+    {
+      const std::uint64_t peers[1] = {partner};
+      const std::size_t sizes[1] = {4};
+      p.open_exchange(peers, sizes, peers);
+      auto slot = p.send_slot(0);
+      std::fill(slot.begin(), slot.end(), static_cast<std::uint32_t>(p.rank() + 1));
+      p.commit_exchange();
+      first = p.recv_view(0);
+    }
+    // Unrelated barriers and charges do not invalidate the view.
+    p.barrier();
+    p.charge(Phase::kCompute, 1.0);
+    p.barrier();
+    ASSERT_EQ(first.size(), 4u);
+    for (const auto x : first) {
+      EXPECT_EQ(x, static_cast<std::uint32_t>(partner + 1));
+    }
+  });
+}
+
+TEST(MachineEdge, PooledZeroSizeSlotsChargeNothing) {
+  const int P = 4;
+  Machine m(P, loggp::meiko_cs2(), MessageMode::kLong);
+  auto rep = m.run([&](Proc& p) {
+    std::vector<std::uint64_t> peers(P);
+    std::iota(peers.begin(), peers.end(), 0);
+    const std::vector<std::size_t> sizes(P, 0);
+    p.open_exchange(peers, sizes, peers);
+    p.commit_exchange();
+    for (int s = 0; s < P; ++s) {
+      EXPECT_TRUE(p.recv_view(static_cast<std::size_t>(s)).empty());
+    }
+  });
+  for (const auto& ph : rep.proc_phases) {
+    EXPECT_DOUBLE_EQ(ph.transfer(), 0.0);
+  }
+  EXPECT_EQ(rep.total_comm().elements_sent, 0u);
+}
+
 TEST(MachineEdge, SequentialRunsReuseMachineState) {
   // Two runs on the same Machine must not leak mailbox state.
   Machine m(2, loggp::meiko_cs2(), MessageMode::kLong);
