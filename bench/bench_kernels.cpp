@@ -1,0 +1,241 @@
+// Per-kernel microbenchmarks: pre-PR scalar baselines vs the kernel
+// layer, per dispatch variant.  Emits BENCH_kernels.json (keys/sec per
+// kernel per variant plus speedups vs baseline) for the perf
+// trajectory; pass an output path as argv[1] (default:
+// ./BENCH_kernels.json).
+//
+// "baseline" is a faithful copy of the pre-kernel-layer code: the
+// branchy one-key-per-iteration compare-exchange of the old
+// local_network_step, the 4x(count+scatter) radix ladder with separate
+// complement-flip passes for descending order, and the per-key pack
+// gather of the old remap_exec.  The acceptance bar for the kernel
+// layer is >= 1.5x on radix sort and >= 2x on compare-exchange steps
+// against these.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "layout/bit_layout.hpp"
+#include "layout/remap.hpp"
+#include "localsort/compare_exchange.hpp"
+#include "localsort/radix_sort.hpp"
+#include "simd/machine.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace bsort;
+
+constexpr std::size_t kKeys = std::size_t{1} << 17;  // 128K keys per measurement
+// The radix measurement uses a larger array: the scatter passes are the
+// cost center and the interesting regime is the memory-bound one where
+// the array has left L2 (1M keys = 4 MB working set per buffer).
+constexpr std::size_t kRadixKeys = std::size_t{1} << 20;
+
+/// Best-of-reps wall time of f() in microseconds (min is the faithful
+/// estimate under a host scheduler; see bench_common.hpp).
+template <class F>
+double time_us(int reps, F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = simd::Proc::now_us();
+    f();
+    best = std::min(best, simd::Proc::now_us() - t0);
+  }
+  return best;
+}
+
+// ---- pre-PR baselines (copied from the seed implementations) ---------
+
+void baseline_radix_sort(std::span<std::uint32_t> keys,
+                         std::vector<std::uint32_t>& scratch) {
+  constexpr int kDigitBits = 8, kBuckets = 256, kPasses = 4;
+  const std::size_t n = keys.size();
+  if (n <= 1) return;
+  scratch.resize(n);
+  std::uint32_t* src = keys.data();
+  std::uint32_t* dst = scratch.data();
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const int shift = pass * kDigitBits;
+    std::array<std::size_t, kBuckets> count{};
+    for (std::size_t i = 0; i < n; ++i) ++count[(src[i] >> shift) & (kBuckets - 1)];
+    if (count[(src[0] >> shift) & (kBuckets - 1)] == n) continue;
+    std::size_t offset = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      const std::size_t c = count[static_cast<std::size_t>(b)];
+      count[static_cast<std::size_t>(b)] = offset;
+      offset += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[count[(src[i] >> shift) & (kBuckets - 1)]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != keys.data()) std::copy(src, src + n, keys.data());
+}
+
+void baseline_radix_sort_descending(std::span<std::uint32_t> keys,
+                                    std::vector<std::uint32_t>& scratch) {
+  for (auto& k : keys) k = ~k;
+  baseline_radix_sort(keys, scratch);
+  for (auto& k : keys) k = ~k;
+}
+
+/// The old scalar inner loop of local_network_step: per-key pair-bit
+/// test, per-key direction derivation, branchy swap.
+void baseline_network_step(std::span<std::uint32_t> data, std::uint64_t pair_bit,
+                           int dir_pos, bool const_ascending) {
+  const std::uint64_t n = data.size();
+  for (std::uint64_t l = 0; l < n; ++l) {
+    if ((l & pair_bit) != 0) continue;
+    const std::uint64_t lp = l | pair_bit;
+    const bool ascending =
+        dir_pos >= 0 ? ((l >> dir_pos) & 1) == 0 : const_ascending;
+    if ((data[l] > data[lp]) == ascending) std::swap(data[l], data[lp]);
+  }
+}
+
+// ---- measurements ----------------------------------------------------
+
+/// keys/sec for one full ascending + descending local radix sort pair.
+double radix_keys_per_sec(bool baseline) {
+  const auto input =
+      util::generate_keys(kRadixKeys, util::KeyDistribution::kUniform31, 42);
+  std::vector<std::uint32_t> keys(kRadixKeys), scratch;
+  const double us = time_us(5, [&] {
+    keys = input;
+    if (baseline) {
+      baseline_radix_sort(keys, scratch);
+    } else {
+      localsort::radix_sort(std::span<std::uint32_t>(keys.data(), kRadixKeys), scratch);
+    }
+    keys = input;
+    if (baseline) {
+      baseline_radix_sort_descending(keys, scratch);
+    } else {
+      localsort::radix_sort_descending(
+          std::span<std::uint32_t>(keys.data(), kRadixKeys), scratch);
+    }
+  });
+  return 2.0 * static_cast<double>(kRadixKeys) / us * 1e6;
+}
+
+/// keys/sec for one full sweep of network steps (every local compare
+/// bit, blocked layout with a local direction bit mix).
+double cmpex_keys_per_sec(bool baseline) {
+  const auto lay = layout::BitLayout::blocked(17, 0);  // 128K keys, 1 proc
+  const auto input = util::generate_keys(kKeys, util::KeyDistribution::kUniform31, 7);
+  std::vector<std::uint32_t> keys(kKeys);
+  const int stage = 17;  // full final stage: steps 17..1, all three dir cases
+  const double us = time_us(5, [&] {
+    keys = input;
+    for (int step = stage; step >= 1; --step) {
+      if (baseline) {
+        baseline_network_step(std::span<std::uint32_t>(keys.data(), kKeys),
+                              std::uint64_t{1} << (step - 1), -1, true);
+      } else {
+        localsort::local_network_step(lay, 0,
+                                      std::span<std::uint32_t>(keys.data(), kKeys),
+                                      stage, step);
+      }
+    }
+  });
+  return static_cast<double>(kKeys) * stage / us * 1e6;
+}
+
+/// keys/sec for the remap pack gather (per-key table lookup), mask-plan
+/// blocked->cyclic pattern (stride-P gathers: the case runs cannot
+/// coalesce, so this measures the gather kernel itself).
+double gather_keys_per_sec(bool baseline) {
+  const auto from = layout::BitLayout::blocked(17, 3);
+  const auto to = layout::BitLayout::cyclic(17, 3);
+  const auto plan = layout::build_mask_plan(from, to);
+  const auto src = util::generate_keys(plan.message_size() * plan.group_size(),
+                                       util::KeyDistribution::kUniform31, 9);
+  std::vector<std::uint32_t> msg(plan.message_size());
+  const auto& K = kernel::active();
+  const double us = time_us(5, [&] {
+    for (std::size_t o = 0; o < plan.group_size(); ++o) {
+      if (baseline) {
+        for (std::size_t j = 0; j < msg.size(); ++j) {
+          msg[j] = src[plan.kept_order[j] | plan.dest_pattern[o]];
+        }
+      } else {
+        K.gather_idx(msg.data(), src.data(), plan.kept_order.data(),
+                     plan.dest_pattern[o], msg.size());
+      }
+    }
+  });
+  return static_cast<double>(plan.message_size() * plan.group_size()) / us * 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+
+  const std::array<const char*, 3> rows = {"radix_sort", "compare_exchange",
+                                           "pack_gather"};
+  // measurements[kernel_name][row] = keys/sec
+  std::map<std::string, std::map<std::string, double>> m;
+
+  m["baseline"]["radix_sort"] = radix_keys_per_sec(/*baseline=*/true);
+  m["baseline"]["compare_exchange"] = cmpex_keys_per_sec(true);
+  m["baseline"]["pack_gather"] = gather_keys_per_sec(true);
+
+  for (const kernel::Kernels* k : kernel::variants()) {
+    if (!kernel::supported(*k)) continue;
+    kernel::set_active_for_testing(k);
+    m[k->name]["radix_sort"] = radix_keys_per_sec(false);
+    m[k->name]["compare_exchange"] = cmpex_keys_per_sec(false);
+    m[k->name]["pack_gather"] = gather_keys_per_sec(false);
+  }
+  kernel::set_active_for_testing(nullptr);
+  const std::string dispatched = kernel::active().name;
+
+  std::ofstream out(out_path);
+  out << "{\n  \"keys_per_sec\": {\n";
+  bool first_k = true;
+  for (const auto& [name, vals] : m) {
+    out << (first_k ? "" : ",\n") << "    \"" << name << "\": {";
+    first_k = false;
+    bool first_r = true;
+    for (const char* row : rows) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.0f", vals.at(row));
+      out << (first_r ? "" : ", ") << "\"" << row << "\": " << buf;
+      first_r = false;
+    }
+    out << "}";
+  }
+  out << "\n  },\n  \"dispatched\": \"" << dispatched << "\",\n"
+      << "  \"speedup_dispatched_vs_baseline\": {";
+  bool first_r = true;
+  for (const char* row : rows) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  m.at(dispatched).at(row) / m.at("baseline").at(row));
+    out << (first_r ? "" : ", ") << "\"" << row << "\": " << buf;
+    first_r = false;
+  }
+  out << "}\n}\n";
+  out.close();
+
+  std::cout << "=== kernel microbenchmarks (keys/sec, higher is better) ===\n";
+  for (const auto& [name, vals] : m) {
+    std::cout << name << ":";
+    for (const char* row : rows) {
+      std::printf("  %s %.2fM", row, vals.at(row) / 1e6);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "dispatched variant: " << dispatched << "; wrote " << out_path << "\n";
+  return 0;
+}

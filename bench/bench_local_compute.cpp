@@ -5,6 +5,7 @@
 
 #include "bench_common.hpp"
 #include "bitonic/sorts.hpp"
+#include "kernel/kernel.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -47,5 +48,39 @@ int main() {
                "butterfly simulation (the thesis' computation optimization); "
                "the fused path trims the remaining unpack cost on inside "
                "windows.\n";
+
+  // Kernel-dispatch ablation: the same smart sort with each supported
+  // kernel variant forced, compute-phase time per key.  The butterfly
+  // (compare-exchange) strategy is the most kernel-bound, so it shows
+  // the SIMD dispatch win most clearly.
+  std::cout << "\n=== kernel dispatch ablation: smart sort, compare-exchange "
+               "strategy (compute us/key) ===\n\n";
+  std::vector<std::string> headers = {"Keys/proc"};
+  for (const kernel::Kernels* k : kernel::variants()) {
+    if (kernel::supported(*k)) headers.push_back(k->name);
+  }
+  util::Table kt(headers);
+  for (const std::size_t n : bench::keys_per_proc_sweep()) {
+    const std::size_t total = n * static_cast<std::size_t>(P);
+    std::vector<std::string> row = {bench::size_label(n)};
+    for (const kernel::Kernels* k : kernel::variants()) {
+      if (!kernel::supported(*k)) continue;
+      kernel::set_active_for_testing(k);
+      bitonic::SmartOptions ce;
+      ce.compute = bitonic::SmartCompute::kCompareExchange;
+      const auto r = bench::run_blocked_sort(
+          total, P, simd::MessageMode::kLong, scale,
+          [&](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s, ce); });
+      if (!r.ok) {
+        std::cerr << "ERROR: unsorted output (kernel " << k->name << ")\n";
+        return 1;
+      }
+      row.push_back(util::Table::fmt(r.compute_us / static_cast<double>(n), 3));
+    }
+    kt.add_row(row);
+  }
+  kernel::set_active_for_testing(nullptr);
+  kt.print(std::cout);
+  std::cout << "\nActive dispatch on this host: " << kernel::active().name << "\n";
   return 0;
 }

@@ -2,8 +2,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
+#include "kernel/kernel.hpp"
 #include "layout/remap.hpp"
 #include "localsort/bitonic_merge.hpp"
 #include "localsort/pway_merge.hpp"
@@ -111,6 +113,96 @@ void BM_BuildExchangePlan(benchmark::State& state) {
   state.SetItemsProcessed((std::int64_t{1} << log_n) * state.iterations());
 }
 BENCHMARK(BM_BuildExchangePlan)->DenseRange(10, 18, 4);
+
+void BM_RadixSortDescending(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = util::generate_keys(n, util::KeyDistribution::kUniform31, 1);
+  std::vector<std::uint32_t> keys(n), scratch;
+  for (auto _ : state) {
+    keys = input;
+    localsort::radix_sort_descending(std::span<std::uint32_t>(keys.data(), n), scratch);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_RadixSortDescending)->Range(1 << 10, 1 << 20);
+
+// ---- per-variant kernel microbenches (registered at runtime for every
+// dispatch variant the host supports; compare e.g. KernelCmpex/scalar
+// against KernelCmpex/avx2) ------------------------------------------
+
+void BM_KernelCmpex(benchmark::State& state, const kernel::Kernels* k) {
+  const std::size_t n = 1 << 16;
+  const auto input = util::generate_keys(2 * n, util::KeyDistribution::kUniform31, 3);
+  std::vector<std::uint32_t> data(2 * n);
+  bool asc = true;
+  for (auto _ : state) {
+    data = input;
+    k->cmpex_blocks(data.data(), data.data() + n, n, asc);
+    asc = !asc;
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+void BM_KernelKeepMin(benchmark::State& state, const kernel::Kernels* k) {
+  const std::size_t n = 1 << 16;
+  const auto src = util::generate_keys(n, util::KeyDistribution::kUniform31, 5);
+  auto dst = util::generate_keys(n, util::KeyDistribution::kUniform31, 6);
+  for (auto _ : state) {
+    k->keep_min(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+void BM_KernelGather(benchmark::State& state, const kernel::Kernels* k) {
+  // blocked -> cyclic pack pattern: stride-P gathers that cannot
+  // coalesce into memcpy runs.
+  const auto from = layout::BitLayout::blocked(16, 3);
+  const auto to = layout::BitLayout::cyclic(16, 3);
+  const auto plan = layout::build_mask_plan(from, to);
+  const auto src = util::generate_keys(std::size_t{1} << 16,
+                                       util::KeyDistribution::kUniform31, 7);
+  std::vector<std::uint32_t> msg(plan.message_size());
+  for (auto _ : state) {
+    for (std::size_t o = 0; o < plan.group_size(); ++o) {
+      k->gather_idx(msg.data(), src.data(), plan.kept_order.data(),
+                    plan.dest_pattern[o], msg.size());
+    }
+    benchmark::DoNotOptimize(msg.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(plan.message_size() * plan.group_size()) *
+      state.iterations());
+}
+
+void BM_KernelHist4x8(benchmark::State& state, const kernel::Kernels* k) {
+  const std::size_t n = 1 << 16;
+  const auto keys = util::generate_keys(n, util::KeyDistribution::kUniform31, 9);
+  std::size_t hist[4][256];
+  for (auto _ : state) {
+    std::fill(&hist[0][0], &hist[0][0] + 4 * 256, 0);
+    k->hist4x8(keys.data(), n, 0, hist);
+    benchmark::DoNotOptimize(&hist[0][0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+const int kKernelBenchRegistrar = [] {
+  for (const kernel::Kernels* k : kernel::variants()) {
+    if (!kernel::supported(*k)) continue;
+    const std::string suffix = std::string("/") + k->name;
+    benchmark::RegisterBenchmark(("BM_KernelCmpex" + suffix).c_str(), BM_KernelCmpex, k);
+    benchmark::RegisterBenchmark(("BM_KernelKeepMin" + suffix).c_str(), BM_KernelKeepMin,
+                                 k);
+    benchmark::RegisterBenchmark(("BM_KernelGather" + suffix).c_str(), BM_KernelGather,
+                                 k);
+    benchmark::RegisterBenchmark(("BM_KernelHist4x8" + suffix).c_str(), BM_KernelHist4x8,
+                                 k);
+  }
+  return 0;
+}();
 
 void BM_ReferenceNetworkSort(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "bitonic/sorts.hpp"
+#include "kernel/kernel.hpp"
 #include "localsort/radix_sort.hpp"
 #include "util/bits.hpp"
 
@@ -47,14 +48,11 @@ void blocked_merge_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
         // lg N of any address is 0).
         const bool dir_bit = k < log_p ? util::bit(rank, k) != 0 : false;
         const bool keep_min = (util::bit(rank, bit) != 0) == dir_bit;
+        const auto& K = kernel::active();
         if (keep_min) {
-          for (std::size_t i = 0; i < keys.size(); ++i) {
-            keys[i] = std::min(keys[i], other[i]);
-          }
+          K.keep_min(keys.data(), other.data(), keys.size());
         } else {
-          for (std::size_t i = 0; i < keys.size(); ++i) {
-            keys[i] = std::max(keys[i], other[i]);
-          }
+          K.keep_max(keys.data(), other.data(), keys.size());
         }
       });
     }

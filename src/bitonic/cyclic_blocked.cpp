@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -15,6 +16,7 @@ void cyclic_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
   const int log_p = util::ilog2(static_cast<std::uint64_t>(p.nprocs()));
   const int log_n = util::ilog2(keys.size());
   assert(log_n >= log_p && "cyclic-blocked remapping requires N >= P^2");
+  const std::uint64_t n = keys.size();
   std::vector<std::uint32_t> scratch;
 
   // First lg n stages: one local sort in the block's merge direction.
@@ -36,24 +38,44 @@ void cyclic_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
   RemapWorkspace ws_to_cyclic;
   RemapWorkspace ws_to_blocked;
 
+  // Ping-pong buffering: every remap scatters from one buffer into the
+  // other and each block merge runs out-of-place, so no phase pays a
+  // copy-back; at most one copy settles the data at the very end.
+  std::vector<std::uint32_t> alt(n);
+  std::span<std::uint32_t> a = keys;          // current data
+  std::span<std::uint32_t> b(alt.data(), n);  // free buffer
+  const auto swap_buffers = [&] { std::swap(a, b); };
+
   for (int k = 1; k <= log_p; ++k) {
     const int stage = log_n + k;
     // Remap to cyclic; the stage's first k steps (steps lg n + k .. lg n
     // + 1) compare absolute bits lg n + k - 1 .. lg n, local under the
     // cyclic layout since lg n >= lg P.  They form the top of the
     // stage's bitonic merge: a cascade of bitonic splits.
-    remap_data(p, blocked, cyclic, keys, scratch, ws_to_cyclic);
+    remap_data_into(p, blocked, cyclic, a, b, ws_to_cyclic);
+    swap_buffers();
     p.timed(simd::Phase::kCompute, [&] {
-      localsort::local_network_steps(cyclic, rank, keys, stage, stage, k);
+      localsort::local_network_steps(cyclic, rank, a, stage, stage, k);
     });
     // Remap back to blocked; the remaining lg n steps complete the merge
     // of each block, which Lemma 7 shows is a bitonic sequence: finish
-    // with a bitonic merge sort in the stage's direction (rank bit k).
-    remap_data(p, cyclic, blocked, keys, scratch, ws_to_blocked);
+    // with a bitonic merge sort in the stage's direction (rank bit k),
+    // written straight into the free buffer.
+    remap_data_into(p, cyclic, blocked, a, b, ws_to_blocked);
+    swap_buffers();
     p.timed(simd::Phase::kCompute, [&] {
-      const bool ascending = util::bit(rank, k) == 0;
-      localsort::bitonic_merge_sort_inplace(keys, scratch, ascending);
+      if (util::bit(rank, k) == 0) {
+        localsort::bitonic_merge_sort(a, b);
+      } else {
+        localsort::bitonic_merge_sort_descending(a, b);
+      }
     });
+    swap_buffers();
+  }
+
+  if (a.data() != keys.data()) {
+    p.timed(simd::Phase::kCompute,
+            [&] { std::copy(a.begin(), a.end(), keys.begin()); });
   }
 }
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "bitonic/sorts.hpp"
+#include "kernel/kernel.hpp"
 #include "localsort/compare_exchange.hpp"
 #include "util/bits.hpp"
 
@@ -43,14 +44,11 @@ void naive_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
         // stages, and remote steps only occur there).
         const bool keep_min = util::bit(rank, rank_bit) ==
                               util::bit(blocked.abs_of(rank, 0), stage);
+        const auto& K = kernel::active();
         if (keep_min) {
-          for (std::size_t i = 0; i < keys.size(); ++i) {
-            keys[i] = std::min(keys[i], other[i]);
-          }
+          K.keep_min(keys.data(), other.data(), keys.size());
         } else {
-          for (std::size_t i = 0; i < keys.size(); ++i) {
-            keys[i] = std::max(keys[i], other[i]);
-          }
+          K.keep_max(keys.data(), other.data(), keys.size());
         }
       });
     }

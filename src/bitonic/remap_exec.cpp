@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+
+#include "kernel/kernel.hpp"
 
 namespace bsort::bitonic {
 
 namespace {
+
+/// Below this run length the per-run memcpy bookkeeping costs more than
+/// the dispatched gather kernel it replaces.
+constexpr std::size_t kMemcpyRunMin = 16;
 
 /// Rebuild `ws` for the (from, to) pair unless it is already cached.
 /// The self entry gets a zero-size slot: the kept portion is scattered
@@ -37,6 +44,34 @@ void prepare_workspace(RemapWorkspace& ws, const layout::BitLayout& from,
 
 }  // namespace
 
+void pack_message(std::span<std::uint32_t> msg, std::span<const std::uint32_t> in,
+                  const std::uint32_t* order, std::uint32_t pat, int run_log2) {
+  const std::size_t M = msg.size();
+  const std::size_t run = std::size_t{1} << run_log2;
+  if (run >= kMemcpyRunMin) {
+    for (std::size_t q = 0; q < M; q += run) {
+      std::memcpy(msg.data() + q, in.data() + (order[q] | pat),
+                  run * sizeof(std::uint32_t));
+    }
+  } else {
+    kernel::active().gather_idx(msg.data(), in.data(), order, pat, M);
+  }
+}
+
+void unpack_message(std::span<std::uint32_t> out, std::span<const std::uint32_t> msg,
+                    const std::uint32_t* order, std::uint32_t pat, int run_log2) {
+  const std::size_t M = msg.size();
+  const std::size_t run = std::size_t{1} << run_log2;
+  if (run >= kMemcpyRunMin) {
+    for (std::size_t q = 0; q < M; q += run) {
+      std::memcpy(out.data() + (order[q] | pat), msg.data() + q,
+                  run * sizeof(std::uint32_t));
+    }
+  } else {
+    kernel::active().scatter_idx(out.data(), order, pat, msg.data(), M);
+  }
+}
+
 void remap_data_into(simd::Proc& p, const layout::BitLayout& from,
                      const layout::BitLayout& to, std::span<const std::uint32_t> in,
                      std::span<std::uint32_t> out, RemapWorkspace& ws) {
@@ -49,14 +84,13 @@ void remap_data_into(simd::Proc& p, const layout::BitLayout& from,
 
   p.open_exchange(ws.send_peers, ws.sizes, ws.recv_peers);
 
-  // Pack: one gather per key, straight into the pooled arena.
+  // Pack into the pooled arena: memcpy runs where the plan coalesces,
+  // one dispatched gather per message otherwise.
   p.timed(simd::Phase::kPack, [&] {
-    const std::size_t M = ws.plan.message_size();
     for (std::size_t o = 0; o < ws.plan.group_size(); ++o) {
-      if (ws.send_peers[o] == rank) continue;  // kept portion: scattered in unpack
-      auto msg = p.send_slot(o);
-      const std::uint32_t pat = ws.plan.dest_pattern[o];
-      for (std::size_t j = 0; j < M; ++j) msg[j] = in[ws.plan.kept_order[j] | pat];
+      if (ws.send_peers[o] == rank) continue;  // kept portion: handled in unpack
+      pack_message(p.send_slot(o), in, ws.plan.kept_order.data(),
+                   ws.plan.dest_pattern[o], ws.plan.pack_run_log2);
     }
   });
 
@@ -69,17 +103,27 @@ void remap_data_into(simd::Proc& p, const layout::BitLayout& from,
       if (ws.recv_peers[o] == rank) {
         // Self portion: sender order and receiver order are both
         // ascending destination local address, so index j matches.
+        // Runs coalesce only as far as BOTH sides stay contiguous.
         assert(ws.has_self);
         const std::uint32_t dpat = ws.plan.dest_pattern[ws.self_send];
-        for (std::size_t j = 0; j < M; ++j) {
-          out[ws.plan.recv_order[j] | spat] = in[ws.plan.kept_order[j] | dpat];
+        const std::size_t run =
+            std::uint64_t{1} << std::min(ws.plan.pack_run_log2, ws.plan.unpack_run_log2);
+        if (run >= kMemcpyRunMin) {
+          for (std::size_t q = 0; q < M; q += run) {
+            std::memcpy(out.data() + (ws.plan.recv_order[q] | spat),
+                        in.data() + (ws.plan.kept_order[q] | dpat),
+                        run * sizeof(std::uint32_t));
+          }
+        } else {
+          for (std::size_t j = 0; j < M; ++j) {
+            out[ws.plan.recv_order[j] | spat] = in[ws.plan.kept_order[j] | dpat];
+          }
         }
       } else {
         const auto msg = p.recv_view(o);
         assert(msg.size() == M);
-        for (std::size_t j = 0; j < M; ++j) {
-          out[ws.plan.recv_order[j] | spat] = msg[j];
-        }
+        unpack_message(out, msg, ws.plan.recv_order.data(), spat,
+                       ws.plan.unpack_run_log2);
       }
     }
   });

@@ -38,6 +38,18 @@ struct RemapWorkspace {
   bool has_self = false;
 };
 
+/// Pack one message: msg[j] = in[order[j] | pat] for j in [0, msg.size()).
+/// `run_log2` is the plan's contiguity guarantee for this order table
+/// (MaskPlan::pack_run_log2 / pack_run_source_log2): long runs are moved
+/// with memcpy, short ones through the dispatched gather kernel.
+void pack_message(std::span<std::uint32_t> msg, std::span<const std::uint32_t> in,
+                  const std::uint32_t* order, std::uint32_t pat, int run_log2);
+
+/// Unpack one message: out[order[j] | pat] = msg[j], with the same run
+/// coalescing on the destination side.
+void unpack_message(std::span<std::uint32_t> out, std::span<const std::uint32_t> msg,
+                    const std::uint32_t* order, std::uint32_t pat, int run_log2);
+
 /// Remap this rank's local portion from layout `from` (read from `in`)
 /// to layout `to` (scattered into `out`).  `in` and `out` must not alias:
 /// the double-buffered form avoids the copy-back a strictly in-place

@@ -67,15 +67,12 @@ void fused_inside_window(simd::Proc& p, std::span<const std::uint32_t> in,
   p.open_exchange(ws.send_peers, ws.sizes, ws.recv_peers);
 
   p.timed(simd::Phase::kPack, [&] {
-    const std::size_t M = ws.plan.message_size();
     for (std::size_t o = 0; o < ws.plan.group_size(); ++o) {
       // Source-order packing: each message is a subsequence of this
-      // rank's value-sorted array, hence a monotonic run.
-      auto msg = p.send_slot(o);
-      const std::uint32_t pat = ws.plan.dest_pattern[o];
-      for (std::size_t j = 0; j < M; ++j) {
-        msg[j] = in[ws.plan.kept_order_source[j] | pat];
-      }
+      // rank's value-sorted array, hence a monotonic run.  Coalesced to
+      // memcpy runs / gather kernels like the scatter remap.
+      pack_message(p.send_slot(o), in, ws.plan.kept_order_source.data(),
+                   ws.plan.dest_pattern[o], ws.plan.pack_run_source_log2);
     }
   });
 

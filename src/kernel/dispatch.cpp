@@ -1,0 +1,99 @@
+// Kernel table assembly and CPUID-based runtime dispatch.
+//
+// The tables are plain static data; resolution runs once (first call to
+// active()) and latches an atomic pointer.  BSORT_KERNEL=scalar|sse|avx2
+// overrides auto-detection when the named variant is compiled in and the
+// host supports it; anything else falls back to the best supported
+// variant with a one-line stderr note so a typo in a test harness cannot
+// silently change what is being measured.
+#include "kernel/kernel.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "kernel/kernel_internal.hpp"
+
+namespace bsort::kernel {
+
+namespace {
+
+using namespace detail;
+
+constexpr Kernels kScalar = {
+    "scalar",          scalar_cmpex_blocks, scalar_keep_min,   scalar_keep_max,
+    scalar_hist4x8,    scalar_hist2x16,     scalar_gather_idx, scalar_scatter_idx,
+};
+
+#ifdef BSORT_KERNEL_X86
+// Histogram and scatter entries stay scalar: neither vectorizes
+// profitably below AVX-512 (see kernel.hpp).
+constexpr Kernels kSse = {
+    "sse",          sse_cmpex_blocks, sse_keep_min,      sse_keep_max,
+    scalar_hist4x8, scalar_hist2x16,  scalar_gather_idx, scalar_scatter_idx,
+};
+
+constexpr Kernels kAvx2 = {
+    "avx2",         avx2_cmpex_blocks, avx2_keep_min,   avx2_keep_max,
+    scalar_hist4x8, scalar_hist2x16,   avx2_gather_idx, scalar_scatter_idx,
+};
+
+constexpr const Kernels* kVariants[] = {&kScalar, &kSse, &kAvx2};
+#else
+constexpr const Kernels* kVariants[] = {&kScalar};
+#endif
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+}  // namespace
+
+std::span<const Kernels* const> variants() { return kVariants; }
+
+const Kernels* by_name(std::string_view name) {
+  for (const Kernels* k : kVariants) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+bool supported(const Kernels& k) {
+  const std::string_view name = k.name;
+  if (name == "scalar") return true;
+#ifdef BSORT_KERNEL_X86
+  if (name == "sse") return __builtin_cpu_supports("sse4.1") != 0;
+  if (name == "avx2") return __builtin_cpu_supports("avx2") != 0;
+#endif
+  return false;
+}
+
+const Kernels& resolve(const char* override_name) {
+  if (override_name != nullptr && *override_name != '\0') {
+    if (const Kernels* k = by_name(override_name); k != nullptr && supported(*k)) {
+      return *k;
+    }
+    std::fprintf(stderr,
+                 "bsort: BSORT_KERNEL=%s is unknown or unsupported on this host; "
+                 "falling back to auto dispatch\n",
+                 override_name);
+  }
+  const Kernels* best = &kScalar;
+  for (const Kernels* k : kVariants) {
+    if (supported(*k)) best = k;  // kVariants is ordered weakest-to-strongest
+  }
+  return *best;
+}
+
+const Kernels& active() {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = &resolve(std::getenv("BSORT_KERNEL"));
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+void set_active_for_testing(const Kernels* k) {
+  g_active.store(k, std::memory_order_release);
+}
+
+}  // namespace bsort::kernel

@@ -1,0 +1,97 @@
+// Vectorized local-compute kernel layer with runtime dispatch.
+//
+// The simulator's hot local phases — compare-exchange network steps,
+// the min/max halves of pairwise block exchanges, radix-sort digit
+// histograms, and the remap pack/unpack gathers — all reduce to a small
+// set of flat array kernels.  This module provides one `Kernels` table
+// of function pointers per instruction-set variant:
+//
+//   * "scalar" — portable branchless C++ (always available, and the
+//     ground truth the differential tests compare against),
+//   * "sse"    — 4-wide SSE4.1 min/max paths,
+//   * "avx2"   — 8-wide AVX2 min/max plus hardware gathers.
+//
+// The active table is selected ONCE, at first use, by CPUID-based
+// runtime dispatch (best supported variant wins).  The environment
+// variable BSORT_KERNEL=scalar|sse|avx2 overrides the choice for
+// testing; an override naming an unsupported or unknown variant falls
+// back to auto-detection.  Callers grab `kernel::active()` (a cheap
+// atomic pointer load) and invoke through the table; no per-call CPUID.
+//
+// Histogram and scatter entries currently share the scalar
+// implementation in every table (histogram increments and scattered
+// stores do not vectorize profitably on x86 without AVX-512), but they
+// live in the table so a future variant can override them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace bsort::kernel {
+
+struct Kernels {
+  const char* name;
+
+  /// Pairwise compare-exchange of two equal-length blocks: when
+  /// `ascending`, a[i] receives min(a[i], b[i]) and b[i] the max;
+  /// directions are flipped otherwise.  The blocks must not overlap.
+  void (*cmpex_blocks)(std::uint32_t* a, std::uint32_t* b, std::size_t n,
+                       bool ascending);
+
+  /// dst[i] = min(dst[i], src[i]) — the "keep the minimum half" side of
+  /// a pairwise whole-block exchange.
+  void (*keep_min)(std::uint32_t* dst, const std::uint32_t* src, std::size_t n);
+  /// dst[i] = max(dst[i], src[i]).
+  void (*keep_max)(std::uint32_t* dst, const std::uint32_t* src, std::size_t n);
+
+  /// Fused radix histograms: ONE sweep of the keys filling all four
+  /// 8-bit-digit histograms of (key ^ xor_mask).  xor_mask = ~0u folds
+  /// the descending-order complement into the digit extraction; 0 sorts
+  /// ascending.  `hist` must be zeroed by the caller.
+  void (*hist4x8)(const std::uint32_t* keys, std::size_t n, std::uint32_t xor_mask,
+                  std::size_t hist[4][256]);
+
+  /// Fused 16-bit-digit histograms: one sweep filling the low- and
+  /// high-halfword histograms of (key ^ xor_mask).  `hist_lo` and
+  /// `hist_hi` each hold 65536 zeroed counters (32-bit: local arrays
+  /// never reach 2^32 keys).
+  void (*hist2x16)(const std::uint32_t* keys, std::size_t n, std::uint32_t xor_mask,
+                   std::uint32_t* hist_lo, std::uint32_t* hist_hi);
+
+  /// Pack gather: dst[j] = src[idx[j] | pat] for j in [0, n).
+  void (*gather_idx)(std::uint32_t* dst, const std::uint32_t* src,
+                     const std::uint32_t* idx, std::uint32_t pat, std::size_t n);
+
+  /// Unpack scatter: dst[idx[j] | pat] = src[j] for j in [0, n).
+  void (*scatter_idx)(std::uint32_t* dst, const std::uint32_t* idx,
+                      std::uint32_t pat, const std::uint32_t* src, std::size_t n);
+};
+
+/// Every variant compiled into this binary, scalar first.  Presence in
+/// this list does not imply the host CPU can run it — check supported().
+std::span<const Kernels* const> variants();
+
+/// Variant by name ("scalar", "sse", "avx2"); nullptr if unknown or not
+/// compiled for this architecture.
+const Kernels* by_name(std::string_view name);
+
+/// True iff the host CPU can execute this variant.
+bool supported(const Kernels& k);
+
+/// Dispatch resolution: honor `override_name` (may be nullptr/empty) if
+/// it names a supported variant, else pick the best supported one.
+/// Exposed for tests; normal callers use active().
+const Kernels& resolve(const char* override_name);
+
+/// The active table: resolved once from BSORT_KERNEL / CPUID on first
+/// use, then a single atomic load per call.
+const Kernels& active();
+
+/// Force the active table (testing hook; nullptr restores automatic
+/// dispatch on next active() call).  Not thread-safe against concurrent
+/// sorts — call between Machine runs only.
+void set_active_for_testing(const Kernels* k);
+
+}  // namespace bsort::kernel

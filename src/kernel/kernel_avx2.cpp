@@ -1,0 +1,81 @@
+// AVX2 kernels (8-wide min/max, hardware gathers).  This TU is compiled
+// with -mavx2 (see src/CMakeLists.txt) and gated at runtime on
+// __builtin_cpu_supports("avx2"); nothing here may be called on a host
+// without AVX2.
+#include "kernel/kernel_internal.hpp"
+
+#ifdef BSORT_KERNEL_X86
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace bsort::kernel::detail {
+
+void avx2_cmpex_blocks(std::uint32_t* a, std::uint32_t* b, std::size_t n,
+                       bool ascending) {
+  std::size_t i = 0;
+  if (ascending) {
+    for (; i + 8 <= n; i += 8) {
+      const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i), _mm256_min_epu32(va, vb));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(b + i), _mm256_max_epu32(va, vb));
+    }
+    for (; i < n; ++i) {
+      const std::uint32_t x = a[i], y = b[i];
+      a[i] = std::min(x, y);
+      b[i] = std::max(x, y);
+    }
+  } else {
+    for (; i + 8 <= n; i += 8) {
+      const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i), _mm256_max_epu32(va, vb));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(b + i), _mm256_min_epu32(va, vb));
+    }
+    for (; i < n; ++i) {
+      const std::uint32_t x = a[i], y = b[i];
+      a[i] = std::max(x, y);
+      b[i] = std::min(x, y);
+    }
+  }
+}
+
+void avx2_keep_min(std::uint32_t* dst, const std::uint32_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vd = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i vs = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_min_epu32(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] = std::min(dst[i], src[i]);
+}
+
+void avx2_keep_max(std::uint32_t* dst, const std::uint32_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vd = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i vs = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_max_epu32(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
+void avx2_gather_idx(std::uint32_t* dst, const std::uint32_t* src,
+                     const std::uint32_t* idx, std::uint32_t pat, std::size_t n) {
+  const __m256i vpat = _mm256_set1_epi32(static_cast<int>(pat));
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256i vi = _mm256_or_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + j)), vpat);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + j),
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(src), vi, 4));
+  }
+  for (; j < n; ++j) dst[j] = src[idx[j] | pat];
+}
+
+}  // namespace bsort::kernel::detail
+
+#endif  // BSORT_KERNEL_X86

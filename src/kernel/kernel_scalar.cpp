@@ -1,0 +1,67 @@
+// Portable scalar kernels: the always-available dispatch fallback and
+// the ground truth the differential suite (tests/test_kernels.cpp)
+// validates the SIMD variants against.  The compare-exchange loops are
+// branchless (min/max, not compare-and-swap) so random data does not
+// pay a mispredict per key even without SIMD.
+#include <algorithm>
+
+#include "kernel/kernel_internal.hpp"
+
+namespace bsort::kernel::detail {
+
+void scalar_cmpex_blocks(std::uint32_t* a, std::uint32_t* b, std::size_t n,
+                         bool ascending) {
+  if (ascending) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t x = a[i], y = b[i];
+      a[i] = std::min(x, y);
+      b[i] = std::max(x, y);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t x = a[i], y = b[i];
+      a[i] = std::max(x, y);
+      b[i] = std::min(x, y);
+    }
+  }
+}
+
+void scalar_keep_min(std::uint32_t* dst, const std::uint32_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = std::min(dst[i], src[i]);
+}
+
+void scalar_keep_max(std::uint32_t* dst, const std::uint32_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
+void scalar_hist4x8(const std::uint32_t* keys, std::size_t n, std::uint32_t xor_mask,
+                    std::size_t hist[4][256]) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t k = keys[i] ^ xor_mask;
+    ++hist[0][k & 0xFFu];
+    ++hist[1][(k >> 8) & 0xFFu];
+    ++hist[2][(k >> 16) & 0xFFu];
+    ++hist[3][k >> 24];
+  }
+}
+
+void scalar_hist2x16(const std::uint32_t* keys, std::size_t n, std::uint32_t xor_mask,
+                     std::uint32_t* hist_lo, std::uint32_t* hist_hi) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t k = keys[i] ^ xor_mask;
+    ++hist_lo[k & 0xFFFFu];
+    ++hist_hi[k >> 16];
+  }
+}
+
+void scalar_gather_idx(std::uint32_t* dst, const std::uint32_t* src,
+                       const std::uint32_t* idx, std::uint32_t pat, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) dst[j] = src[idx[j] | pat];
+}
+
+void scalar_scatter_idx(std::uint32_t* dst, const std::uint32_t* idx,
+                        std::uint32_t pat, const std::uint32_t* src, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) dst[idx[j] | pat] = src[j];
+}
+
+}  // namespace bsort::kernel::detail

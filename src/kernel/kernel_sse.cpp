@@ -1,0 +1,67 @@
+// SSE4.1 kernels (4-wide).  This TU is compiled with -msse4.1 (see
+// src/CMakeLists.txt): _mm_min_epu32/_mm_max_epu32 are SSE4.1, so the
+// dispatcher gates this table on __builtin_cpu_supports("sse4.1").
+// Nothing here may be called on a host without SSE4.1.
+#include "kernel/kernel_internal.hpp"
+
+#ifdef BSORT_KERNEL_X86
+
+#include <smmintrin.h>
+
+#include <algorithm>
+
+namespace bsort::kernel::detail {
+
+void sse_cmpex_blocks(std::uint32_t* a, std::uint32_t* b, std::size_t n,
+                      bool ascending) {
+  std::size_t i = 0;
+  if (ascending) {
+    for (; i + 4 <= n; i += 4) {
+      const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(a + i), _mm_min_epu32(va, vb));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(b + i), _mm_max_epu32(va, vb));
+    }
+    for (; i < n; ++i) {
+      const std::uint32_t x = a[i], y = b[i];
+      a[i] = std::min(x, y);
+      b[i] = std::max(x, y);
+    }
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(a + i), _mm_max_epu32(va, vb));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(b + i), _mm_min_epu32(va, vb));
+    }
+    for (; i < n; ++i) {
+      const std::uint32_t x = a[i], y = b[i];
+      a[i] = std::max(x, y);
+      b[i] = std::min(x, y);
+    }
+  }
+}
+
+void sse_keep_min(std::uint32_t* dst, const std::uint32_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vd = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i vs = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_min_epu32(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] = std::min(dst[i], src[i]);
+}
+
+void sse_keep_max(std::uint32_t* dst, const std::uint32_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vd = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i vs = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_max_epu32(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
+}  // namespace bsort::kernel::detail
+
+#endif  // BSORT_KERNEL_X86

@@ -126,6 +126,19 @@ std::vector<std::uint32_t> scatter_table(const std::vector<int>& positions) {
   return table;
 }
 
+/// Length c of the maximal identity prefix (positions[i] == i for
+/// i < c).  The scatter table over such positions maps any aligned block
+/// of 2^c consecutive inputs to 2^c consecutive outputs, and the shaded
+/// pattern bits live strictly above bit c-1 (positions are disjoint), so
+/// `table[j] | pat` streams are contiguous runs of length 2^c.
+int identity_prefix(const std::vector<int>& positions) {
+  int c = 0;
+  while (c < static_cast<int>(positions.size()) && positions[static_cast<std::size_t>(c)] == c) {
+    ++c;
+  }
+  return c;
+}
+
 }  // namespace
 
 MaskPlan build_mask_plan(const BitLayout& from, const BitLayout& to) {
@@ -156,6 +169,7 @@ MaskPlan build_mask_plan(const BitLayout& from, const BitLayout& to) {
     src_positions.reserve(kept.size());
     for (const auto& [q, p] : kept) src_positions.push_back(p);
     plan.kept_order_source = scatter_table(src_positions);
+    plan.pack_run_source_log2 = identity_prefix(src_positions);
   }
   std::sort(kept.begin(), kept.end());
   std::vector<int> kept_from_positions;
@@ -163,6 +177,7 @@ MaskPlan build_mask_plan(const BitLayout& from, const BitLayout& to) {
   for (const auto& [q, p] : kept) kept_from_positions.push_back(p);
   plan.kept_order = scatter_table(kept_from_positions);
   plan.dest_pattern = scatter_table(shaded_from);
+  plan.pack_run_log2 = identity_prefix(kept_from_positions);
 
   // Receiver mirror: kept to-local positions in ascending order give
   // ascending destination local addresses; shaded to-local positions
@@ -178,6 +193,7 @@ MaskPlan build_mask_plan(const BitLayout& from, const BitLayout& to) {
   }
   plan.recv_order = scatter_table(kept_to);
   plan.src_pattern = scatter_table(shaded_to);
+  plan.unpack_run_log2 = identity_prefix(kept_to);
   return plan;
 }
 

@@ -91,8 +91,27 @@ struct MaskPlan {
   /// the sender's value-sorted array).
   std::vector<std::uint32_t> kept_order_source;
 
+  /// Run coalescing: when the lowest c kept bits of the relevant local
+  /// address are the identity mapping (bit i of the message offset lands
+  /// at local bit i), consecutive message offsets touch consecutive
+  /// local addresses and `order[j] | pat` index streams are unions of
+  /// contiguous runs of length 2^c — pack/unpack can then move whole
+  /// runs with memcpy instead of per-key gathers.  A remap between
+  /// cyclic and blocked layouts coalesces to run length == message size
+  /// on one of its two sides (single memcpy per message).
+  int pack_run_log2 = 0;         ///< lg run length of kept_order | dest_pattern
+  int unpack_run_log2 = 0;       ///< lg run length of recv_order | src_pattern
+  int pack_run_source_log2 = 0;  ///< lg run length of kept_order_source | dest_pattern
+
   [[nodiscard]] std::uint64_t group_size() const { return dest_pattern.size(); }
   [[nodiscard]] std::uint64_t message_size() const { return kept_order.size(); }
+  [[nodiscard]] std::uint64_t pack_run() const { return std::uint64_t{1} << pack_run_log2; }
+  [[nodiscard]] std::uint64_t unpack_run() const {
+    return std::uint64_t{1} << unpack_run_log2;
+  }
+  [[nodiscard]] std::uint64_t pack_run_source() const {
+    return std::uint64_t{1} << pack_run_source_log2;
+  }
 };
 
 MaskPlan build_mask_plan(const BitLayout& from, const BitLayout& to);

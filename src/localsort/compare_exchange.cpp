@@ -1,23 +1,31 @@
 #include "localsort/compare_exchange.hpp"
 
-#include <algorithm>
 #include <cassert>
 
+#include "kernel/kernel.hpp"
 #include "util/bits.hpp"
 
 namespace bsort::localsort {
 
+// Block-oriented formulation: indices with 0 in the compare bit come in
+// contiguous runs of length 2^pos (the pair partner run sits 2^pos
+// later), so one network step is a sequence of block compare-exchanges.
+// The direction logic is hoisted OUT of the inner loop: depending on
+// where the direction bit sits relative to the compare bit it is either
+// constant for the whole step, constant per block, or splits each block
+// into alternating contiguous sub-runs — in every case the inner loop
+// is a straight-line kernel call over contiguous memory.
 void local_network_step(const layout::BitLayout& lay, std::uint64_t rank,
                         std::span<std::uint32_t> data, int stage, int step) {
   assert(data.size() == lay.local_size());
   const int pos = lay.local_pos_of(step - 1);
   assert(pos >= 0 && "compare bit must be local under this layout");
-  const std::uint64_t pair_bit = std::uint64_t{1} << pos;
+  const std::uint64_t half = std::uint64_t{1} << pos;
 
   // Direction: the merge containing absolute address A is ascending iff
   // bit `stage` of A is 0.  That bit is either constant on this processor
   // (a processor bit, or beyond lg N for the final stage) or varies with
-  // one local bit.
+  // one local bit.  It is never the compare bit itself (stage > step-1).
   int dir_pos = -1;  // local bit carrying the direction, if any
   bool const_ascending = true;
   if (stage < lay.log_total()) {
@@ -27,16 +35,30 @@ void local_network_step(const layout::BitLayout& lay, std::uint64_t rank,
       const_ascending = util::bit(lay.abs_of(rank, 0), stage) == 0;
     }
   }
+  assert(dir_pos != pos);
 
+  const auto& K = kernel::active();
   const std::uint64_t n = data.size();
-  for (std::uint64_t l = 0; l < n; ++l) {
-    if ((l & pair_bit) != 0) continue;
-    const std::uint64_t lp = l | pair_bit;
-    const bool ascending =
-        dir_pos >= 0 ? util::bit(l, dir_pos) == 0 : const_ascending;
-    // The element with 0 in the compare bit keeps the minimum iff the
-    // merge is ascending.
-    if ((data[l] > data[lp]) == ascending) std::swap(data[l], data[lp]);
+  if (dir_pos < 0) {
+    for (std::uint64_t base = 0; base < n; base += 2 * half) {
+      K.cmpex_blocks(&data[base], &data[base + half], half, const_ascending);
+    }
+  } else if (dir_pos > pos) {
+    // Direction bit above the compare bit: constant within each block.
+    const std::uint64_t dbit = std::uint64_t{1} << dir_pos;
+    for (std::uint64_t base = 0; base < n; base += 2 * half) {
+      K.cmpex_blocks(&data[base], &data[base + half], half, (base & dbit) == 0);
+    }
+  } else {
+    // Direction bit below the compare bit: each block splits into
+    // alternating ascending/descending sub-runs of length 2^dir_pos.
+    const std::uint64_t sub = std::uint64_t{1} << dir_pos;
+    for (std::uint64_t base = 0; base < n; base += 2 * half) {
+      for (std::uint64_t off = 0; off < half; off += sub) {
+        K.cmpex_blocks(&data[base + off], &data[base + half + off], sub,
+                       (off & sub) == 0);
+      }
+    }
   }
 }
 

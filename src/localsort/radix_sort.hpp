@@ -1,5 +1,14 @@
 // LSD radix sort for 32-bit keys — the local sort of the first lg n
 // stages (Section 4.4: keys are in a known range, radix sort is linear).
+//
+// Fused formulation (kernel layer, see src/kernel/kernel.hpp): ONE sweep
+// of the keys computes the histograms of every pass up front, and the
+// descending order is obtained by extracting digits of ~key while still
+// scattering the original keys — no complement-flip passes over the
+// array.  The scatter passes software-prefetch each bucket's write
+// cursor (256 concurrent store streams defeat the hardware
+// prefetchers).  Passes on which every key shares the same digit are
+// skipped (common for 31-bit keys in the top pass).
 #pragma once
 
 #include <cstdint>
@@ -8,15 +17,15 @@
 
 namespace bsort::localsort {
 
-/// Sort ascending, 8-bit digits (4 passes over 31-bit keys).  `scratch`
-/// is resized as needed and reused across calls to avoid allocation in
-/// timed loops.
+/// Sort ascending.  `scratch` is resized as needed and reused across
+/// calls to avoid allocation in timed loops.
 void radix_sort(std::span<std::uint32_t> keys, std::vector<std::uint32_t>& scratch);
 
 /// Sort ascending with a private scratch buffer.
 void radix_sort(std::span<std::uint32_t> keys);
 
-/// Sort descending (complement trick: sort ~key ascending).
+/// Sort descending (digits of ~key drive the buckets; the keys
+/// themselves are never complemented).
 void radix_sort_descending(std::span<std::uint32_t> keys,
                            std::vector<std::uint32_t>& scratch);
 

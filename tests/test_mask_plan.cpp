@@ -157,6 +157,57 @@ TEST(MaskPlan, SelfMessagePresenceIsSymmetric) {
   }
 }
 
+/// Independent check of an advertised run length: every aligned run of
+/// 2^c message offsets must touch 2^c consecutive local addresses.
+void check_run(const std::vector<std::uint32_t>& order,
+               const std::vector<std::uint32_t>& patterns, int run_log2) {
+  const std::size_t run = std::size_t{1} << run_log2;
+  for (const std::uint32_t pat : patterns) {
+    for (std::size_t q = 0; q < order.size(); q += run) {
+      for (std::size_t j = 1; j < run; ++j) {
+        ASSERT_EQ(order[q + j] | pat, (order[q] | pat) + j);
+      }
+    }
+  }
+}
+
+TEST(MaskPlan, RunCoalescingBlockedCyclic) {
+  // blocked -> cyclic: the low lg P from-local bits become processor
+  // bits (pack gathers at stride P) but the receive side keeps its low
+  // bits — the whole message unpacks as ONE contiguous run.  The inverse
+  // remap mirrors this.
+  const int log_n = 6, log_p = 2;
+  const auto b = BitLayout::blocked(log_n, log_p);
+  const auto c = BitLayout::cyclic(log_n, log_p);
+  const auto to_cyclic = build_mask_plan(b, c);
+  EXPECT_EQ(to_cyclic.pack_run_log2, 0);
+  EXPECT_EQ(to_cyclic.unpack_run_log2, log_n - log_p);
+  EXPECT_EQ(to_cyclic.unpack_run(), to_cyclic.message_size());
+  const auto to_blocked = build_mask_plan(c, b);
+  EXPECT_EQ(to_blocked.pack_run_log2, log_n - log_p);
+  EXPECT_EQ(to_blocked.pack_run_source_log2, log_n - log_p);
+  EXPECT_EQ(to_blocked.unpack_run_log2, 0);
+}
+
+TEST(MaskPlan, RunLengthsAreSoundAlongSchedules) {
+  // Whatever run lengths build_mask_plan advertises, the index streams
+  // must actually be contiguous for that long, for every pattern.
+  for (auto [log_n, log_p] : {std::pair{4, 3}, {6, 3}, {3, 2}, {2, 5}}) {
+    const auto sched = schedule::make_smart_schedule(log_n, log_p);
+    auto prev = BitLayout::blocked(log_n, log_p);
+    for (const auto& phase : sched.remaps) {
+      const auto plan = build_mask_plan(prev, phase.layout);
+      check_run(plan.kept_order, plan.dest_pattern, plan.pack_run_log2);
+      check_run(plan.kept_order_source, plan.dest_pattern, plan.pack_run_source_log2);
+      check_run(plan.recv_order, plan.src_pattern, plan.unpack_run_log2);
+      prev = phase.layout;
+      if (phase.params.kind == SmartKind::kCrossing) {
+        prev = BitLayout::smart_phase2(log_n, log_p, phase.params);
+      }
+    }
+  }
+}
+
 TEST(MaskPlan, AsymmetricGroupsExistInTightRegimes) {
   // Regression anchor for the fused-path bug: with lg n = 2, lg P = 4 the
   // schedule contains remaps whose send and receive peer sets differ and
