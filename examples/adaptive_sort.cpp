@@ -1,6 +1,9 @@
-// Adaptive sort: use the LogGP model (Section 3.4.3) to pick the best
-// remapping strategy for the machine at hand, then run it through the
-// high-level parallel_sort facade.
+// Adaptive sort: calibrate the LogGP parameters by MEASURING the
+// machine (trace/fit.hpp), use the recovered model to pick the best
+// remapping strategy (Section 3.4.3), then run it through the
+// high-level parallel_sort facade.  This is the full loop a real
+// deployment would run: micro-benchmark -> fit (L, o, g, G) -> predict
+// -> choose -> sort.
 //
 //   ./example_adaptive_sort [total_keys] [processors] [short|long]
 #include <cstdlib>
@@ -9,6 +12,9 @@
 
 #include "api/parallel_sort.hpp"
 #include "loggp/choose.hpp"
+#include "loggp/params.hpp"
+#include "simd/machine.hpp"
+#include "trace/fit.hpp"
 #include "util/bits.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
@@ -24,10 +30,32 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::uint64_t n = total / static_cast<std::uint64_t>(P);
-  const auto params = loggp::meiko_cs2();
+  const auto mode = long_messages ? simd::MessageMode::kLong : simd::MessageMode::kShort;
+
+  // Calibrate against the simulated machine itself instead of trusting a
+  // parameter table: run the pairwise + all-to-all micro-benchmark and
+  // fit (L, g, G) back out of its trace (o is taken as known — it is
+  // measured with a separate overhead benchmark in real calibrations).
+  // Long-mode fitting needs P >= 4 to identify g; below that, fall back
+  // to the published table.
+  const auto table = loggp::meiko_cs2();
+  loggp::Params params = table;
+  const bool can_calibrate = P >= (mode == simd::MessageMode::kLong ? 4 : 2);
+  if (can_calibrate) {
+    simd::Machine probe(P, table, mode);
+    const auto fit = trace::calibrate(probe, table.o);
+    params = fit.params;
+    std::cout << "Calibrated from " << fit.events << " traced exchanges: L=" << params.L
+              << "us o=" << params.o << "us g=" << params.g << "us G=" << params.G
+              << "us/B (published table: L=" << table.L << " o=" << table.o
+              << " g=" << table.g << " G=" << table.G
+              << "; max fit residual " << fit.max_rel_residual << ")\n\n";
+  } else {
+    std::cout << "P too small to calibrate; using the published Meiko table.\n\n";
+  }
 
   std::cout << "Model predictions for n=" << n << " keys/proc on P=" << P
-            << " (Meiko CS-2 LogGP parameters):\n\n";
+            << " (fitted LogGP parameters):\n\n";
   util::Table t({"strategy", "remaps", "volume/proc", "messages/proc",
                  "LogP time (ms)", "LogGP time (ms)"});
   for (const auto s : {loggp::Strategy::kBlocked, loggp::Strategy::kCyclicBlocked,
@@ -53,7 +81,7 @@ int main(int argc, char** argv) {
 
   api::Config cfg;
   cfg.nprocs = P;
-  cfg.mode = long_messages ? simd::MessageMode::kLong : simd::MessageMode::kShort;
+  cfg.mode = mode;
   switch (pick) {
     case loggp::Strategy::kBlocked:
       cfg.algorithm = api::Algorithm::kBlockedMergeBitonic;

@@ -32,9 +32,12 @@ void blocked_merge_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
     for (int bit = k - 1; bit >= 0; --bit) {
       const std::uint64_t partner = rank ^ (std::uint64_t{1} << bit);
       // Pooled pairwise exchange: stage the whole block in the arena,
-      // read the partner's block in place — no payload vectors.
+      // read the partner's block in place — no payload vectors.  Each
+      // remote step is a "remap" of the fixed blocked strategy: a
+      // 2-processor group exchanging whole blocks (Section 3.4.2).
       const std::uint64_t peers[1] = {partner};
       const std::size_t sizes[1] = {keys.size()};
+      p.trace_remap(1, trace::LayoutTag::kBlocked, trace::LayoutTag::kBlocked);
       p.open_exchange(peers, sizes, peers);
       p.timed(simd::Phase::kPack,
               [&] { std::copy(keys.begin(), keys.end(), p.send_slot(0).begin()); });

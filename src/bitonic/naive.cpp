@@ -30,9 +30,12 @@ void naive_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
       // in rank bit (abs_bit - lg n), keep the min or max half.
       const int rank_bit = abs_bit - log_n;
       const std::uint64_t partner = rank ^ (std::uint64_t{1} << rank_bit);
-      // Pooled pairwise exchange (see blocked_merge.cpp).
+      // Pooled pairwise exchange (see blocked_merge.cpp); under the fixed
+      // blocked layout every remote step is a 2-processor whole-block
+      // exchange.
       const std::uint64_t peers[1] = {partner};
       const std::size_t sizes[1] = {keys.size()};
+      p.trace_remap(1, trace::LayoutTag::kBlocked, trace::LayoutTag::kBlocked);
       p.open_exchange(peers, sizes, peers);
       p.timed(simd::Phase::kPack,
               [&] { std::copy(keys.begin(), keys.end(), p.send_slot(0).begin()); });

@@ -38,11 +38,22 @@ void prepare_workspace(RemapWorkspace& ws, const layout::BitLayout& from,
       ws.sizes[o] = M;
     }
   }
+  ws.group_log2 = layout::bits_changed(from, to);
+  ws.from_tag = classify_layout(from);
+  ws.to_tag = classify_layout(to);
   ws.from = from;
   ws.to = to;
 }
 
 }  // namespace
+
+trace::LayoutTag classify_layout(const layout::BitLayout& lay) {
+  const int log_n = lay.log_local();
+  const int log_p = lay.log_procs();
+  if (lay == layout::BitLayout::blocked(log_n, log_p)) return trace::LayoutTag::kBlocked;
+  if (lay == layout::BitLayout::cyclic(log_n, log_p)) return trace::LayoutTag::kCyclic;
+  return trace::LayoutTag::kSmart;
+}
 
 void pack_message(std::span<std::uint32_t> msg, std::span<const std::uint32_t> in,
                   const std::uint32_t* order, std::uint32_t pat, int run_log2) {
@@ -82,6 +93,7 @@ void remap_data_into(simd::Proc& p, const layout::BitLayout& from,
   // Plan construction (cached across repeats of the same layout pair).
   p.timed(simd::Phase::kPack, [&] { prepare_workspace(ws, from, to, rank); });
 
+  p.trace_remap(ws.group_log2, ws.from_tag, ws.to_tag);
   p.open_exchange(ws.send_peers, ws.sizes, ws.recv_peers);
 
   // Pack into the pooled arena: memcpy runs where the plan coalesces,

@@ -36,7 +36,15 @@ struct RemapWorkspace {
   std::vector<std::size_t> sizes;
   std::size_t self_send = 0;
   bool has_self = false;
+  // Trace annotation, derived once per cached layout pair: the group
+  // size exponent r (Lemma 4) and the coarse layout classification.
+  int group_log2 = -1;
+  trace::LayoutTag from_tag = trace::LayoutTag::kUnknown;
+  trace::LayoutTag to_tag = trace::LayoutTag::kUnknown;
 };
+
+/// Coarse classification of a layout for trace records.
+trace::LayoutTag classify_layout(const layout::BitLayout& lay);
 
 /// Pack one message: msg[j] = in[order[j] | pat] for j in [0, msg.size()).
 /// `run_log2` is the plan's contiguity guarantee for this order table

@@ -59,11 +59,15 @@ void fused_inside_window(simd::Proc& p, std::span<const std::uint32_t> in,
         ws.send_peers[o] = layout::mask_plan_dest(from, to, ws.plan, rank, o);
         ws.recv_peers[o] = layout::mask_plan_src(from, to, ws.plan, rank, o);
       }
+      ws.group_log2 = layout::bits_changed(from, to);
+      ws.from_tag = classify_layout(from);
+      ws.to_tag = classify_layout(to);
       ws.from = from;
       ws.to = to;
     }
   });
 
+  p.trace_remap(ws.group_log2, ws.from_tag, ws.to_tag);
   p.open_exchange(ws.send_peers, ws.sizes, ws.recv_peers);
 
   p.timed(simd::Phase::kPack, [&] {

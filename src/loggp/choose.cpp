@@ -30,6 +30,7 @@ StrategyPrediction predict(Strategy s, const Params& p, std::uint64_t keys_per_p
       m = cyclic_blocked_metrics(keys_per_proc, nprocs);
       break;
     case Strategy::kSmart: {
+      if (nprocs == 1) break;  // no communication at all; metrics stay zero
       // General-shape formulas from the schedule module (the closed-form
       // smart_metrics assumes lgP(lgP+1)/2 <= lg n).
       const int log_n = util::ilog2(keys_per_proc);
@@ -53,19 +54,32 @@ Strategy choose_strategy(const Params& p, std::uint64_t keys_per_proc,
                          std::uint64_t nprocs, bool use_long_messages,
                          int elem_bytes) {
   assert(util::is_pow2(keys_per_proc) && util::is_pow2(nprocs));
-  Strategy best = Strategy::kSmart;
-  double best_time = -1;
+  // Candidates are visited in preference order (smart first), and a
+  // candidate only displaces the incumbent when it is STRICTLY better:
+  // lower predicted time, then — on an exact time tie — fewer messages,
+  // then lower volume.  Full ties therefore resolve to
+  // smart > cyclic-blocked > blocked, deterministically (e.g. P = 1,
+  // where every strategy predicts zero communication).
+  bool have = false;
+  StrategyPrediction best{};
+  double best_time = 0;
   for (const Strategy s :
-       {Strategy::kBlocked, Strategy::kCyclicBlocked, Strategy::kSmart}) {
+       {Strategy::kSmart, Strategy::kCyclicBlocked, Strategy::kBlocked}) {
     if (s == Strategy::kCyclicBlocked && keys_per_proc < nprocs) continue;
     const auto pred = predict(s, p, keys_per_proc, nprocs, elem_bytes);
     const double t = use_long_messages ? pred.time_long_us : pred.time_short_us;
-    if (best_time < 0 || t < best_time) {
+    const bool better =
+        !have || t < best_time ||
+        (t == best_time && (pred.metrics.messages < best.metrics.messages ||
+                            (pred.metrics.messages == best.metrics.messages &&
+                             pred.metrics.elements < best.metrics.elements)));
+    if (better) {
+      have = true;
+      best = pred;
       best_time = t;
-      best = s;
     }
   }
-  return best;
+  return best.strategy;
 }
 
 }  // namespace bsort::loggp

@@ -33,6 +33,12 @@ StrategyPrediction predict(Strategy s, const Params& p, std::uint64_t keys_per_p
 /// or LogP (short) prediction.  Note the cyclic-blocked strategy is only
 /// admissible when keys_per_proc >= nprocs (N >= P^2); inadmissible
 /// strategies are skipped.
+///
+/// Tie-break (deterministic, documented): on an exact predicted-time tie
+/// the strategy with fewer predicted messages wins, then the one with
+/// lower predicted volume, then the fixed preference order
+/// smart > cyclic-blocked > blocked (so P = 1, where all predictions are
+/// zero, selects kSmart).
 Strategy choose_strategy(const Params& p, std::uint64_t keys_per_proc,
                          std::uint64_t nprocs, bool use_long_messages,
                          int elem_bytes = 4);

@@ -1,10 +1,26 @@
 #include "loggp/cost.hpp"
 
-#include <cassert>
+#include <limits>
+#include <stdexcept>
 
+#include "schedule/formulas.hpp"
 #include "util/bits.hpp"
 
 namespace bsort::loggp {
+
+namespace {
+
+/// Saturating product for the closed-form totals: a prediction for an
+/// astronomically large n must degrade to "infinite" (UINT64_MAX), not
+/// wrap around to a small — and therefore preferable-looking — value.
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+}  // namespace
 
 double remap_time_short(const Params& p, std::uint64_t elements) {
   if (elements == 0) return 0.0;
@@ -14,7 +30,13 @@ double remap_time_short(const Params& p, std::uint64_t elements) {
 double remap_time_long(const Params& p, std::uint64_t elements, std::uint64_t messages,
                        int elem_bytes) {
   if (elements == 0 || messages == 0) return 0.0;
-  assert(messages <= elements);
+  // Real precondition, not a debug assert: every message carries at
+  // least one element, otherwise the G*(V - M) term goes negative and
+  // the formula silently under-charges in Release builds.
+  if (messages > elements) {
+    throw std::invalid_argument(
+        "remap_time_long: messages > elements (every message carries >= 1 element)");
+  }
   const double Ge = p.G_per_element(elem_bytes);
   return p.L + 2 * p.o + Ge * static_cast<double>(elements - messages) +
          p.g * static_cast<double>(messages - 1);
@@ -38,25 +60,50 @@ StrategyMetrics blocked_metrics(std::uint64_t n, std::uint64_t P) {
   const std::uint64_t lgP = static_cast<std::uint64_t>(util::ilog2(P));
   const std::uint64_t R = lgP * (lgP + 1) / 2;
   // Every remote step exchanges the whole local array with one partner.
-  return StrategyMetrics{.remaps = R, .elements = n * R, .messages = R};
+  return StrategyMetrics{.remaps = R, .elements = sat_mul(n, R), .messages = R};
 }
 
 StrategyMetrics cyclic_blocked_metrics(std::uint64_t n, std::uint64_t P) {
   const std::uint64_t lgP = static_cast<std::uint64_t>(util::ilog2(P));
+  // Each of the 2 lgP remaps moves between the blocked and cyclic
+  // layouts.  For n >= P (the sort's admissible regime) that is an
+  // all-to-all: every processor keeps n/P keys and sends n/P to each of
+  // the other P - 1, so V reduces to the thesis' 2 n (1 - 1/P) lg P
+  // exactly.  The former expression `2 * n * (P - 1) / P * lgP`
+  // truncated the division before multiplying by lgP and undercounted V
+  // whenever P did not divide n, i.e. for n < P.  There a critical-path
+  // processor keeps nothing (only the few ranks the address shift maps
+  // to themselves retain a key) and sends each of its n keys to a
+  // distinct peer, which the unified expressions below also cover:
+  // n >> lgP is 0 and min(n, P - 1) is n.
   const std::uint64_t R = 2 * lgP;
-  // Each remap is an all-to-all: n*(P-1)/P elements in P-1 messages.
-  return StrategyMetrics{
-      .remaps = R, .elements = 2 * n * (P - 1) / P * lgP, .messages = R * (P - 1)};
+  return StrategyMetrics{.remaps = R,
+                         .elements = sat_mul(R, n - (n >> lgP)),
+                         .messages = sat_mul(R, n < P ? n : P - 1)};
 }
 
 StrategyMetrics smart_metrics(std::uint64_t n, std::uint64_t P) {
   const std::uint64_t lgP = static_cast<std::uint64_t>(util::ilog2(P));
-  [[maybe_unused]] const std::uint64_t lgn = static_cast<std::uint64_t>(util::ilog2(n));
-  assert(lgP * (lgP + 1) / 2 <= lgn && "closed forms assume the usual regime");
+  const std::uint64_t lgn = static_cast<std::uint64_t>(util::ilog2(n));
+  if (lgP == 0) return StrategyMetrics{.remaps = 0, .elements = 0, .messages = 0};
+  if (lgP * (lgP + 1) / 2 > lgn) {
+    // Outside the usual regime the closed forms below are simply wrong
+    // (extra remaps are needed when the triangular step count exceeds
+    // lg n).  This used to be a debug-only assert — correct predictions
+    // in Debug, silently wrong ones in Release; fall back to the
+    // general-shape schedule formulas instead, as predict() does.
+    return StrategyMetrics{
+        .remaps = schedule::smart_remap_count(static_cast<int>(lgn), static_cast<int>(lgP)),
+        .elements =
+            schedule::smart_volume_per_proc(static_cast<int>(lgn), static_cast<int>(lgP)),
+        .messages = schedule::smart_messages_per_proc(static_cast<int>(lgn),
+                                                      static_cast<int>(lgP))};
+  }
   const std::uint64_t R = lgP + 1;
   // V = n * lgP (Section 3.2.1).  M lower bound (Section 3.4.3):
   // sum_{i=1..lgP} (2^i - 1) + (P - 1) = 3(P-1) - lgP.
-  return StrategyMetrics{.remaps = R, .elements = n * lgP, .messages = 3 * (P - 1) - lgP};
+  return StrategyMetrics{
+      .remaps = R, .elements = sat_mul(n, lgP), .messages = 3 * (P - 1) - lgP};
 }
 
 }  // namespace bsort::loggp

@@ -28,7 +28,10 @@ struct RemapMetrics {
 /// Time (us) for one remap with short messages (one key per message).
 double remap_time_short(const Params& p, std::uint64_t elements);
 
-/// Time (us) for one remap with long messages.
+/// Time (us) for one remap with long messages.  Precondition (checked,
+/// throws std::invalid_argument): messages <= elements — every message
+/// carries at least one element, otherwise the G*(V - M) term would go
+/// negative and silently under-charge.
 double remap_time_long(const Params& p, std::uint64_t elements, std::uint64_t messages,
                        int elem_bytes);
 
@@ -39,8 +42,17 @@ double total_time_long(const Params& p, std::uint64_t remaps, std::uint64_t tota
                        std::uint64_t total_messages, int elem_bytes);
 
 /// Closed-form R / V / M per processor for the three remapping strategies
-/// of Section 3.4.2/3.4.3, assuming the "usual" regime
-/// lgP(lgP+1)/2 <= lg n (V and M in elements / messages per processor).
+/// of Section 3.4.2/3.4.3 (V and M in elements / messages per
+/// processor).  In the "usual" regime lgP(lgP+1)/2 <= lg n these are the
+/// thesis' closed forms; outside it smart_metrics falls back to the
+/// exact general-shape schedule formulas (the closed forms would be
+/// wrong there).  cyclic_blocked_metrics is the exact critical-path
+/// (max over processors) count for every (n, P): for n >= P all
+/// processors are identical and it is the thesis' formula; for n < P —
+/// where the sort itself is inadmissible but the remap sequence is
+/// still well defined — a worst-case processor keeps nothing and sends
+/// every key as its own message.  Products saturate at UINT64_MAX
+/// instead of wrapping.
 struct StrategyMetrics {
   std::uint64_t remaps;    ///< R
   std::uint64_t elements;  ///< V per processor

@@ -124,6 +124,9 @@ void parallel_radix_sort(simd::Proc& p, std::vector<std::uint32_t>& keys) {
       }
     });
 
+    // The data redistribution is this pass's "remap": a machine-wide
+    // all-to-all (group 2^lgP), not a bit-layout transition.
+    p.trace_remap(util::ilog2(P), trace::LayoutTag::kOther, trace::LayoutTag::kOther);
     p.open_exchange(all_peers, data_sizes, all_peers);
     p.timed(simd::Phase::kPack, [&] {
       std::fill(cursor.begin(), cursor.end(), 0);

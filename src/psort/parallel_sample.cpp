@@ -6,6 +6,7 @@
 #include "localsort/pway_merge.hpp"
 #include "localsort/radix_sort.hpp"
 #include "psort/psort.hpp"
+#include "util/bits.hpp"
 
 namespace bsort::psort {
 
@@ -72,6 +73,9 @@ void parallel_sample_sort(simd::Proc& p, std::vector<std::uint32_t>& keys, int o
   });
   std::vector<std::size_t> part_sizes(P);
   for (std::uint64_t d = 0; d < P; ++d) part_sizes[d] = part_begin[d + 1] - part_begin[d];
+  // The partition redistribution is the sort's one "remap": a
+  // machine-wide all-to-all, not a bit-layout transition.
+  p.trace_remap(util::ilog2(P), trace::LayoutTag::kOther, trace::LayoutTag::kOther);
   p.open_exchange(all_peers, part_sizes, all_peers);
   p.timed(simd::Phase::kPack, [&] {
     for (std::uint64_t d = 0; d < P; ++d) {

@@ -115,6 +115,13 @@ struct Machine::Impl {
   std::vector<Cell> cells;  ///< cells[dst * P + src]
   std::vector<VpState> vps;
 
+  // ---- run tracing (src/trace/) -------------------------------------
+  // Rings are per-VP and single-writer (each VP appends only to its
+  // own), so recording needs no locks; enable/disable happen between
+  // runs only.
+  bool trace_enabled = false;
+  std::vector<trace::VpTrace> traces;
+
   bool thread_clock = false;
   std::vector<std::mutex> timed_shards;  ///< fallback timing locks
 
@@ -245,6 +252,25 @@ Machine::~Machine() {
 
 bool Machine::concurrent_timing() const { return impl_->thread_clock; }
 
+void Machine::enable_tracing(std::size_t events_per_vp) {
+  impl_->traces.resize(static_cast<std::size_t>(nprocs_));
+  for (auto& t : impl_->traces) t.reset(events_per_vp);
+  impl_->trace_enabled = true;
+}
+
+void Machine::disable_tracing() {
+  impl_->trace_enabled = false;
+  impl_->traces.clear();
+  impl_->traces.shrink_to_fit();
+}
+
+bool Machine::tracing() const { return impl_->trace_enabled; }
+
+const trace::VpTrace& Machine::vp_trace(int rank) const {
+  assert(impl_->trace_enabled && rank >= 0 && rank < nprocs_);
+  return impl_->traces[static_cast<std::size_t>(rank)];
+}
+
 double Proc::cpu_scale() const { return machine_.cpu_scale_; }
 
 MessageMode Proc::mode() const { return machine_.mode(); }
@@ -283,6 +309,38 @@ void Proc::charge(Phase phase, double us) {
 }
 
 void Proc::barrier() { clock_us_ = machine_.impl_->barrier_sync(clock_us_); }
+
+void Proc::trace_remap(int group_log2, trace::LayoutTag from, trace::LayoutTag to) {
+  if (!machine_.impl_->trace_enabled) return;
+  trace_ann_.group_log2 = static_cast<std::int16_t>(group_log2);
+  trace_ann_.from = from;
+  trace_ann_.to = to;
+  trace_ann_.armed = true;
+}
+
+void Proc::record_trace_event(std::uint64_t elements, std::uint64_t messages,
+                              std::uint32_t peers, double charged_us) {
+  trace::ExchangeEvent e;
+  // comm_ was already updated for this exchange; exchanges is 1-based.
+  e.seq = static_cast<std::uint32_t>(comm_.exchanges - 1);
+  if (trace_ann_.armed) {
+    e.remap = trace_remaps_++;
+    e.group_log2 = trace_ann_.group_log2;
+    e.layout_from = trace_ann_.from;
+    e.layout_to = trace_ann_.to;
+    trace_ann_ = TraceAnnotation{};
+  }
+  e.peers = peers;
+  e.elements = elements;
+  e.messages = messages;
+  e.charged_us = charged_us;
+  e.compute_us = phases_.compute() - trace_snap_.compute();
+  e.pack_us = phases_.pack() - trace_snap_.pack();
+  e.unpack_us = phases_.unpack() - trace_snap_.unpack();
+  e.clock_us = clock_us_;
+  trace_snap_ = phases_;
+  machine_.impl_->traces[static_cast<std::size_t>(rank_)].push(e);
+}
 
 void Proc::open_exchange(std::span<const std::uint64_t> send_peers,
                          std::span<const std::size_t> send_sizes,
@@ -341,7 +399,11 @@ void Proc::commit_exchange() {
   std::uint64_t elements = 0;
   std::uint64_t messages = 0;
   for (std::size_t i = 0; i < vp.send_peers.size(); ++i) {
-    if (static_cast<int>(vp.send_peers[i]) == rank_) continue;
+    // A self peer or an empty slot transmits nothing: neither is a
+    // message (counting empty slots could make M exceed V, violating
+    // remap_time_long's precondition that every message carries at
+    // least one element).
+    if (static_cast<int>(vp.send_peers[i]) == rank_ || vp.slot_len[i] == 0) continue;
     elements += vp.slot_len[i];
     messages += 1;
   }
@@ -366,6 +428,7 @@ void Proc::commit_exchange() {
 
   // Charge communication time (Section 3.4).  Short messages: each key
   // is its own message.
+  const std::uint64_t peers = messages;  // payload-bearing non-self peers
   double t = 0;
   if (elements > 0) {
     if (machine_.mode_ == MessageMode::kShort) {
@@ -380,6 +443,9 @@ void Proc::commit_exchange() {
   comm_.exchanges += 1;
   comm_.elements_sent += elements;
   comm_.messages_sent += messages;
+  if (impl.trace_enabled) {
+    record_trace_event(elements, messages, static_cast<std::uint32_t>(peers), t);
+  }
   vp.open = false;
 }
 
@@ -434,6 +500,10 @@ std::vector<std::uint32_t> Proc::exchange_with(std::uint64_t partner,
 
 RunReport Machine::run(const std::function<void(Proc&)>& program) {
   const auto wall0 = std::chrono::steady_clock::now();
+  // Traces describe the most recent run only (capacity is retained).
+  if (impl_->trace_enabled) {
+    for (auto& t : impl_->traces) t.clear();
+  }
   std::vector<Proc> procs;
   procs.reserve(static_cast<std::size_t>(nprocs_));
   for (int r = 0; r < nprocs_; ++r) {

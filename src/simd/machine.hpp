@@ -42,6 +42,16 @@
 // spans pointing directly into the senders' arenas, so a steady-state
 // remap performs zero heap allocations.  The legacy vector-based
 // exchange() is a compatibility wrapper over the pooled path.
+//
+// Run tracing
+// -----------
+// enable_tracing() arms a per-VP ring buffer of trace::ExchangeEvents;
+// every commit_exchange() then records the exchange's V/M counters, the
+// LogP/LogGP time charged, and the phase-time deltas — plus the remap
+// annotation (ordinal, group size 2^r, layout transition) when the sort
+// called Proc::trace_remap() first.  The trace/ subsystem exports the
+// rings as JSONL, validates them against the Section 3.4 closed forms,
+// and fits (L, o, g, G) back out of them; see src/trace/.
 #pragma once
 
 #include <cstddef>
@@ -51,6 +61,7 @@
 #include <vector>
 
 #include "loggp/params.hpp"
+#include "trace/events.hpp"
 
 namespace bsort::simd {
 
@@ -133,6 +144,14 @@ class Proc {
   /// Add `us` microseconds to this VP's clock under `phase`.
   void charge(Phase phase, double us);
 
+  /// Annotate the NEXT committed exchange as a data remap: `group_log2`
+  /// is r (the exchange group has 2^r members, Lemma 4), `from`/`to`
+  /// classify the layout transition.  No-op unless tracing is enabled on
+  /// the machine (one predicted branch), so sorts call it
+  /// unconditionally before commit_exchange().  Each annotated exchange
+  /// is numbered by a per-VP remap ordinal — the trace's measured R.
+  void trace_remap(int group_log2, trace::LayoutTag from, trace::LayoutTag to);
+
   // ---- Pooled exchange (zero steady-state heap allocation) -----------
   //
   // Protocol: open_exchange() declares the peers and per-peer payload
@@ -203,6 +222,17 @@ class Proc {
   double timed_end(const TimedToken& tok);
   void timed_abort(const TimedToken& tok);
 
+  /// Pending trace_remap() annotation, consumed by the next
+  /// commit_exchange (only maintained while tracing is enabled).
+  struct TraceAnnotation {
+    std::int16_t group_log2 = -1;
+    trace::LayoutTag from = trace::LayoutTag::kUnknown;
+    trace::LayoutTag to = trace::LayoutTag::kUnknown;
+    bool armed = false;
+  };
+  void record_trace_event(std::uint64_t elements, std::uint64_t messages,
+                          std::uint32_t peers, double charged_us);
+
   friend class Machine;
   Proc(Machine& m, int rank, int nprocs) : machine_(m), rank_(rank), nprocs_(nprocs) {}
 
@@ -213,6 +243,9 @@ class Proc {
   double clock_us_ = 0;
   PhaseBreakdown phases_;
   CommStats comm_;
+  TraceAnnotation trace_ann_;
+  PhaseBreakdown trace_snap_;   ///< phase totals at the last recorded event
+  std::int32_t trace_remaps_ = 0;  ///< annotated exchanges so far (measured R)
 };
 
 /// The machine: P virtual processors, a LogGP parameter set and a message
@@ -237,6 +270,23 @@ class Machine {
   /// True when timed sections use the lock-free per-thread CPU clock
   /// (see "Timing calibration"); false in the sharded-lock fallback.
   [[nodiscard]] bool concurrent_timing() const;
+
+  // ---- Run tracing (src/trace/) -------------------------------------
+  //
+  // When enabled, every commit_exchange() records one ExchangeEvent into
+  // the calling VP's preallocated ring buffer (`events_per_vp` capacity;
+  // oldest events are overwritten on overflow).  Recording is
+  // allocation-free; disabled tracing costs one predicted branch per
+  // exchange.  Rings are cleared at the start of each run(), so
+  // vp_trace() always describes the most recent run.  Call
+  // enable/disable only between runs.
+
+  void enable_tracing(std::size_t events_per_vp = 4096);
+  void disable_tracing();
+  [[nodiscard]] bool tracing() const;
+  /// The (post-run) event ring of one VP; valid only while tracing is
+  /// enabled.
+  [[nodiscard]] const trace::VpTrace& vp_trace(int rank) const;
 
   /// Execute `program` on every VP (SPMD).  Blocks until all finish.
   /// If a VP throws, the barrier is poisoned so every other VP unwinds

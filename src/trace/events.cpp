@@ -1,0 +1,21 @@
+#include "trace/events.hpp"
+
+namespace bsort::trace {
+
+const char* layout_tag_name(LayoutTag t) {
+  switch (t) {
+    case LayoutTag::kUnknown:
+      return "unknown";
+    case LayoutTag::kBlocked:
+      return "blocked";
+    case LayoutTag::kCyclic:
+      return "cyclic";
+    case LayoutTag::kSmart:
+      return "smart";
+    case LayoutTag::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+}  // namespace bsort::trace

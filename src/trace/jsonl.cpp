@@ -1,0 +1,70 @@
+#include "trace/jsonl.hpp"
+
+#include <iomanip>
+
+namespace bsort::trace {
+
+namespace {
+
+/// Minimal JSON string escaping for the free-form meta fields (labels
+/// are ASCII identifiers in practice, but don't bet correctness on it).
+void put_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::size_t write_jsonl(std::ostream& os, const simd::Machine& m, const TraceMeta& meta) {
+  const auto& p = m.params();
+  os << "{\"type\":\"meta\",\"label\":";
+  put_escaped(os, meta.label);
+  os << ",\"algorithm\":";
+  put_escaped(os, meta.algorithm);
+  os << ",\"keys_per_proc\":" << meta.keys_per_proc << ",\"nprocs\":" << m.nprocs()
+     << ",\"mode\":\"" << (m.mode() == simd::MessageMode::kLong ? "long" : "short")
+     << "\",\"L\":" << p.L << ",\"o\":" << p.o << ",\"g\":" << p.g << ",\"G\":" << p.G
+     << ",\"dropped\":[";
+  for (int r = 0; r < m.nprocs(); ++r) {
+    if (r > 0) os << ',';
+    os << m.vp_trace(r).dropped();
+  }
+  os << "]}\n";
+
+  std::size_t written = 0;
+  const auto prec = os.precision(9);
+  for (int r = 0; r < m.nprocs(); ++r) {
+    const VpTrace& t = m.vp_trace(r);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const ExchangeEvent& e = t[i];
+      os << "{\"type\":\"exchange\",\"vp\":" << r << ",\"seq\":" << e.seq
+         << ",\"remap\":" << e.remap << ",\"group_log2\":" << e.group_log2
+         << ",\"layout_from\":\"" << layout_tag_name(e.layout_from) << "\",\"layout_to\":\""
+         << layout_tag_name(e.layout_to) << "\",\"peers\":" << e.peers
+         << ",\"elements\":" << e.elements << ",\"messages\":" << e.messages
+         << ",\"charged_us\":" << e.charged_us << ",\"compute_us\":" << e.compute_us
+         << ",\"pack_us\":" << e.pack_us << ",\"unpack_us\":" << e.unpack_us
+         << ",\"clock_us\":" << e.clock_us << "}\n";
+      ++written;
+    }
+  }
+  os.precision(prec);
+  return written;
+}
+
+}  // namespace bsort::trace

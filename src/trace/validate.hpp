@@ -1,0 +1,73 @@
+// Model validation: measured trace totals vs. the Section 3.4 closed
+// forms.
+//
+// The thesis' Tables 5.1-5.4 compare predicted and measured
+// communication; this module automates the comparison for the simulated
+// machine.  After a traced run, validate_run() aggregates each VP's ring
+// into measured (R, V, M, charged time) and checks them against
+// loggp::predict() for the strategy under test: R/V/M must match
+// EXACTLY (the machine charges analytically, so any discrepancy is a
+// model bug or a metrics-formula bug — this layer is what catches the
+// divide-before-multiply and the out-of-regime closed forms), and the
+// charged communication time must match total_time_{short,long} to a
+// relative tolerance that only absorbs floating-point summation order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loggp/choose.hpp"
+#include "simd/machine.hpp"
+#include "trace/events.hpp"
+
+namespace bsort::trace {
+
+/// Per-VP totals aggregated from one trace ring.
+struct MeasuredMetrics {
+  std::uint64_t remaps = 0;     ///< annotated exchanges (trace_remap ordinals)
+  std::uint64_t exchanges = 0;  ///< all exchanges retained in the ring
+  std::uint64_t elements = 0;   ///< V: sum of per-exchange elements
+  std::uint64_t messages = 0;   ///< M: sum of per-exchange messages
+  double charged_us = 0;        ///< total LogP/LogGP transfer time charged
+  std::uint64_t dropped = 0;    ///< events lost to ring overflow
+};
+
+MeasuredMetrics measure(const VpTrace& t);
+
+/// One VP's verdict.  `complete` is false when the ring overflowed (the
+/// totals are then partial and every check is reported failed).
+struct VpValidation {
+  int vp = 0;
+  MeasuredMetrics measured;
+  loggp::StrategyMetrics predicted{};
+  double predicted_time_us = 0;
+  bool complete = false;
+  bool remaps_ok = false;
+  bool elements_ok = false;
+  bool messages_ok = false;  ///< vacuously true in short mode (M == V there)
+  bool time_ok = false;
+  [[nodiscard]] bool ok() const {
+    return complete && remaps_ok && elements_ok && messages_ok && time_ok;
+  }
+};
+
+struct ValidationReport {
+  loggp::Strategy strategy{};
+  std::vector<VpValidation> vps;
+  [[nodiscard]] bool all_ok() const;
+  /// Human-readable multi-line summary (used by the benches); lists one
+  /// line per failing VP, or a single "ok" line.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Validate the machine's most recent traced run of a sort using
+/// `strategy`'s remapping, with `keys_per_proc` keys per VP.  The
+/// prediction side is loggp::predict() — the exact general-shape
+/// schedule formulas for Smart, the closed forms for Blocked and
+/// Cyclic-Blocked.  `rel_tol` bounds the relative error accepted on the
+/// charged time (default absorbs only summation-order noise).
+ValidationReport validate_run(const simd::Machine& m, loggp::Strategy strategy,
+                              std::uint64_t keys_per_proc, double rel_tol = 1e-9);
+
+}  // namespace bsort::trace

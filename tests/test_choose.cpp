@@ -65,6 +65,24 @@ TEST(Choose, SmartMessagesFormulaBoundsSection343) {
   }
 }
 
+TEST(Choose, TieBreakIsDeterministic) {
+  // P = 1: every strategy predicts zero communication, an exact
+  // three-way tie.  The documented tie-break (fewest messages, then
+  // lowest volume, then smart > cyclic-blocked > blocked) must resolve
+  // it the same way every time, in both message regimes.
+  const auto p = meiko_cs2();
+  for (const std::uint64_t n : {2u, 1u << 10, 1u << 20}) {
+    EXPECT_EQ(choose_strategy(p, n, 1, /*use_long_messages=*/false), Strategy::kSmart);
+    EXPECT_EQ(choose_strategy(p, n, 1, /*use_long_messages=*/true), Strategy::kSmart);
+  }
+  // Degenerate parameters (all zero): times tie at 0 for every shape and
+  // the first metric tie-break (fewest messages) decides — that is the
+  // blocked strategy (Section 3.4.3: best message count).
+  const Params zero{.L = 0, .o = 0, .g = 0, .G = 0};
+  EXPECT_EQ(choose_strategy(zero, 1u << 17, 32, /*use_long_messages=*/false),
+            Strategy::kBlocked);
+}
+
 TEST(Choose, Names) {
   EXPECT_EQ(strategy_name(Strategy::kBlocked), "blocked");
   EXPECT_EQ(strategy_name(Strategy::kCyclicBlocked), "cyclic-blocked");

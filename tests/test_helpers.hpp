@@ -17,10 +17,22 @@ simd::RunReport run_blocked_spmd(
     std::vector<std::uint32_t>& keys, int nprocs, simd::MessageMode mode,
     const std::function<void(simd::Proc&, std::span<std::uint32_t>)>& body);
 
+/// As run_blocked_spmd but on a caller-owned machine (so tests can
+/// enable tracing and inspect vp_trace() afterwards).
+simd::RunReport run_blocked_spmd_on(
+    simd::Machine& machine, std::vector<std::uint32_t>& keys,
+    const std::function<void(simd::Proc&, std::span<std::uint32_t>)>& body);
+
 /// As run_blocked_spmd but each processor owns a growable vector (sample
 /// sort changes per-processor counts); returns the concatenation.
 std::vector<std::uint32_t> run_vector_spmd(
     const std::vector<std::uint32_t>& keys, int nprocs, simd::MessageMode mode,
+    const std::function<void(simd::Proc&, std::vector<std::uint32_t>&)>& body);
+
+/// As run_vector_spmd but on a caller-owned machine; the RunReport comes
+/// back through `report` (the sorted concatenation is the return value).
+std::vector<std::uint32_t> run_vector_spmd_on(
+    simd::Machine& machine, const std::vector<std::uint32_t>& keys, simd::RunReport& report,
     const std::function<void(simd::Proc&, std::vector<std::uint32_t>&)>& body);
 
 }  // namespace bsort::testing

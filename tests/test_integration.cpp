@@ -4,18 +4,24 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 
 #include "bitonic/sorts.hpp"
 #include "loggp/params.hpp"
 #include "psort/psort.hpp"
+#include "schedule/formulas.hpp"
 #include "test_helpers.hpp"
+#include "trace/validate.hpp"
+#include "util/bits.hpp"
 #include "util/random.hpp"
 
 namespace bsort {
 namespace {
 
 using testing::run_blocked_spmd;
+using testing::run_blocked_spmd_on;
 using testing::run_vector_spmd;
+using testing::run_vector_spmd_on;
 
 TEST(Integration, AllSortsAgreeOnSameInput) {
   const std::size_t N = 1u << 13;
@@ -102,6 +108,94 @@ TEST(Integration, ReportsHavePositivePhases) {
   EXPECT_GT(rep.critical_phases().pack(), 0.0);
   EXPECT_GT(rep.critical_phases().unpack(), 0.0);
   for (const auto t : rep.proc_us) EXPECT_GT(t, 0.0);
+}
+
+// Every exchange a sort performs must appear in the trace with exactly
+// the counters the RunReport accumulated: per VP, the event sums equal
+// proc_comm (exchanges / elements / messages) and the charged_us sum
+// equals the transfer phase (the only phase charged at commit).  The
+// compute/pack/unpack deltas can only cover time up to the last
+// exchange, so those sums are bounded by the phase totals.
+void expect_trace_matches_report(const simd::Machine& m, const simd::RunReport& rep) {
+  for (int r = 0; r < m.nprocs(); ++r) {
+    const auto meas = trace::measure(m.vp_trace(r));
+    const auto& comm = rep.proc_comm[static_cast<std::size_t>(r)];
+    const auto& phases = rep.proc_phases[static_cast<std::size_t>(r)];
+    ASSERT_EQ(meas.dropped, 0u) << "ring overflow on vp " << r;
+    EXPECT_EQ(meas.exchanges, comm.exchanges) << "vp " << r;
+    EXPECT_EQ(meas.elements, comm.elements_sent) << "vp " << r;
+    EXPECT_EQ(meas.messages, comm.messages_sent) << "vp " << r;
+    EXPECT_NEAR(meas.charged_us, phases.transfer(), 1e-9 * (1.0 + phases.transfer()))
+        << "vp " << r;
+    double compute = 0, pack = 0, unpack = 0;
+    const auto& t = m.vp_trace(r);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      compute += t[i].compute_us;
+      pack += t[i].pack_us;
+      unpack += t[i].unpack_us;
+    }
+    const double slack = 1e-9;
+    EXPECT_LE(compute, phases.compute() + slack) << "vp " << r;
+    EXPECT_LE(pack, phases.pack() + slack) << "vp " << r;
+    EXPECT_LE(unpack, phases.unpack() + slack) << "vp " << r;
+  }
+}
+
+TEST(Integration, TraceSumsMatchReportForEverySort) {
+  const std::size_t N = 1u << 12;
+  const int P = 8;
+  const auto input = util::generate_keys(N, util::KeyDistribution::kUniform31, 77);
+
+  const std::function<void(simd::Proc&, std::span<std::uint32_t>)> blocked_sorts[] = {
+      [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::naive_blocked_sort(p, s); },
+      [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::blocked_merge_sort(p, s); },
+      [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::cyclic_blocked_sort(p, s); },
+      [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); },
+  };
+  for (const auto mode : {simd::MessageMode::kShort, simd::MessageMode::kLong}) {
+    for (const auto& sort : blocked_sorts) {
+      simd::Machine m(P, loggp::meiko_cs2(), mode);
+      m.enable_tracing();
+      auto keys = input;
+      const auto rep = run_blocked_spmd_on(m, keys, sort);
+      expect_trace_matches_report(m, rep);
+    }
+    const std::function<void(simd::Proc&, std::vector<std::uint32_t>&)> vector_sorts[] = {
+        [](simd::Proc& p, std::vector<std::uint32_t>& k) { psort::parallel_radix_sort(p, k); },
+        [](simd::Proc& p, std::vector<std::uint32_t>& k) { psort::parallel_sample_sort(p, k); },
+    };
+    for (const auto& sort : vector_sorts) {
+      simd::Machine m(P, loggp::meiko_cs2(), mode);
+      m.enable_tracing();
+      simd::RunReport rep;
+      run_vector_spmd_on(m, input, rep, sort);
+      expect_trace_matches_report(m, rep);
+    }
+  }
+}
+
+TEST(Integration, SmartTraceRemapCountMatchesSchedule) {
+  const int P = 16;
+  const std::size_t n = 1u << 10;
+  simd::Machine m(P, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  m.enable_tracing();
+  auto keys = util::generate_keys(n * P, util::KeyDistribution::kUniform31, 78);
+  run_blocked_spmd_on(m, keys, [](simd::Proc& p, std::span<std::uint32_t> s) {
+    bitonic::smart_sort(p, s);
+  });
+  const auto expected =
+      schedule::smart_remap_count(util::ilog2(n), util::ilog2(static_cast<std::uint64_t>(P)));
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(trace::measure(m.vp_trace(r)).remaps, expected) << "vp " << r;
+    // Every annotated exchange carries its layout transition.
+    const auto& t = m.vp_trace(r);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].remap < 0) continue;
+      EXPECT_NE(t[i].layout_from, trace::LayoutTag::kUnknown);
+      EXPECT_NE(t[i].layout_to, trace::LayoutTag::kUnknown);
+      EXPECT_GE(t[i].group_log2, 1);
+    }
+  }
 }
 
 TEST(Integration, RepeatedRunsAreDataDeterministic) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "loggp/params.hpp"
+#include "schedule/formulas.hpp"
 
 namespace bsort::loggp {
 namespace {
@@ -60,6 +64,67 @@ TEST(LogGP, StrategyMetricsSection34) {
   EXPECT_EQ(smart.remaps, 6u);  // lg P + 1
   EXPECT_EQ(smart.elements, n * 5);
   EXPECT_EQ(smart.messages, 3 * (P - 1) - 5);
+}
+
+TEST(LogGP, LongMessageTimeRejectsMoreMessagesThanElements) {
+  // Checked precondition (was a debug-only assert): M > V would make the
+  // G*(V - M) term negative and silently under-charge in Release.
+  const Params p{.L = 10, .o = 2, .g = 5, .G = 0.1};
+  EXPECT_THROW((void)remap_time_long(p, 4, 5, 4), std::invalid_argument);
+  EXPECT_NO_THROW((void)remap_time_long(p, 4, 4, 4));
+}
+
+TEST(LogGP, CyclicBlockedMetricsExactBelowP) {
+  // Regression for the divide-before-multiply truncation in
+  // `2 * n * (P - 1) / P * lgP`: with n, P powers of two the quotient is
+  // only exact when P | n, i.e. n >= P — below that the old expression
+  // undercounted.  At n < P a critical-path processor keeps nothing and
+  // sends each of its n keys as its own message, so each of the 2 lgP
+  // remaps moves n keys in n messages (the traced remap loop in
+  // test_trace.cpp confirms these counts against the machine).
+  const auto m = cyclic_blocked_metrics(2, 8);
+  EXPECT_EQ(m.remaps, 6u);
+  EXPECT_EQ(m.elements, 12u);                      // old formula: 9
+  EXPECT_EQ(m.messages, 12u);                      // old formula: 6 * 7 = 42
+  EXPECT_NE(m.elements, 2u * 2 * (8 - 1) / 8 * 3); // the truncated value
+
+  const auto m2 = cyclic_blocked_metrics(4, 16);
+  EXPECT_EQ(m2.remaps, 8u);
+  EXPECT_EQ(m2.elements, 8u * 4);
+  EXPECT_EQ(m2.messages, 8u * 4);
+
+  // At n >= P the fixed formula reduces to the thesis' closed form.
+  const std::uint64_t n = 1u << 12, P = 32;
+  EXPECT_EQ(cyclic_blocked_metrics(n, P).elements, 2 * n * (P - 1) / P * 5);
+  EXPECT_EQ(cyclic_blocked_metrics(n, P).messages, 10 * (P - 1));
+}
+
+TEST(LogGP, SmartMetricsFallsBackOutsideUsualRegime) {
+  // lgP(lgP+1)/2 = 6 > lg n = 3: the in-regime closed forms (R = lgP+1,
+  // V = n lgP) are wrong here.  This used to be caught only by a debug
+  // assert — Release got the wrong numbers; now the general-shape
+  // schedule formulas are returned instead.
+  const std::uint64_t n = 8, P = 8;
+  const auto m = smart_metrics(n, P);
+  EXPECT_EQ(m.remaps, schedule::smart_remap_count(3, 3));
+  EXPECT_EQ(m.elements, schedule::smart_volume_per_proc(3, 3));
+  EXPECT_EQ(m.messages, schedule::smart_messages_per_proc(3, 3));
+  EXPECT_NE(m.remaps, 4u);  // lgP + 1: the pre-fix Release value
+
+  // P = 1: no communication at all (the closed form would say R = 1).
+  const auto solo = smart_metrics(1u << 10, 1);
+  EXPECT_EQ(solo.remaps, 0u);
+  EXPECT_EQ(solo.elements, 0u);
+  EXPECT_EQ(solo.messages, 0u);
+}
+
+TEST(LogGP, BlockedMetricsSaturateInsteadOfWrapping) {
+  // n * R would overflow 64 bits; the prediction must pin to UINT64_MAX
+  // (an "infinitely bad" strategy), not wrap to something small that
+  // choose_strategy would then prefer.
+  const auto m = blocked_metrics(std::uint64_t{1} << 62, 256);
+  EXPECT_EQ(m.remaps, 36u);
+  EXPECT_EQ(m.elements, std::numeric_limits<std::uint64_t>::max());
 }
 
 TEST(LogGP, SmartOptimalUnderLogP) {

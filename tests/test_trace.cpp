@@ -1,0 +1,340 @@
+// The trace subsystem: ring-buffer semantics, JSONL export, the model
+// validator (measured R/V/M/time vs. the Section 3.4 predictions) and
+// the (L, o, g, G) fitter.  The validator tests include regressions
+// against the two historical closed-form bugs: the divide-before-
+// multiply truncation in cyclic_blocked_metrics at n < P, and
+// smart_metrics returning the in-regime closed forms outside the
+// lgP(lgP+1)/2 <= lg n regime.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "bitonic/remap_exec.hpp"
+#include "bitonic/sorts.hpp"
+#include "layout/bit_layout.hpp"
+#include "loggp/choose.hpp"
+#include "loggp/cost.hpp"
+#include "loggp/params.hpp"
+#include "schedule/formulas.hpp"
+#include "simd/machine.hpp"
+#include "test_helpers.hpp"
+#include "trace/events.hpp"
+#include "trace/fit.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/validate.hpp"
+#include "util/bits.hpp"
+#include "util/random.hpp"
+
+namespace bsort {
+namespace {
+
+using bitonic::remap_data;
+using testing::run_blocked_spmd_on;
+
+trace::ExchangeEvent make_event(std::uint32_t seq, std::uint64_t elements) {
+  trace::ExchangeEvent e;
+  e.seq = seq;
+  e.elements = elements;
+  return e;
+}
+
+TEST(VpTrace, OverwritesOldestWhenFull) {
+  trace::VpTrace t;
+  t.reset(4);
+  EXPECT_EQ(t.capacity(), 4u);
+  for (std::uint32_t i = 0; i < 6; ++i) t.push(make_event(i, 10 * i));
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 2u);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i].seq, 2u + i);  // oldest-first, events 0 and 1 lost
+    EXPECT_EQ(t[i].elements, 10u * (2 + i));
+  }
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.capacity(), 4u);  // clear keeps the allocation
+}
+
+TEST(VpTrace, ZeroCapacityDropsEverything) {
+  trace::VpTrace t;
+  t.reset(0);
+  t.push(make_event(0, 1));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 1u);
+}
+
+// One pairwise exchange per VP: rank r swaps `elems` keys with rank r^1.
+void pairwise_program(simd::Proc& p, std::size_t elems) {
+  const auto me = static_cast<std::uint64_t>(p.rank());
+  const std::uint64_t peers[1] = {me ^ 1};
+  const std::size_t sizes[1] = {elems};
+  p.open_exchange(peers, sizes, peers);
+  auto slot = p.send_slot(0);
+  std::fill(slot.begin(), slot.end(), static_cast<std::uint32_t>(me));
+  p.commit_exchange();
+}
+
+TEST(MachineTracing, RecordsOneEventPerExchange) {
+  simd::Machine m(4, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  m.enable_tracing(16);
+  m.run([](simd::Proc& p) {
+    for (int i = 0; i < 3; ++i) pairwise_program(p, 8);
+  });
+  for (int r = 0; r < m.nprocs(); ++r) {
+    const auto& t = m.vp_trace(r);
+    ASSERT_EQ(t.size(), 3u);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      EXPECT_EQ(t[i].seq, i);
+      EXPECT_EQ(t[i].remap, -1);  // unannotated
+      EXPECT_EQ(t[i].elements, 8u);
+      EXPECT_EQ(t[i].messages, 1u);
+      EXPECT_EQ(t[i].peers, 1u);
+      EXPECT_DOUBLE_EQ(t[i].charged_us,
+                       loggp::remap_time_long(m.params(), 8, 1, 4));
+    }
+  }
+}
+
+TEST(MachineTracing, RingsResetBetweenRunsAndOverflowIsReported) {
+  simd::Machine m(2, loggp::meiko_cs2(), simd::MessageMode::kShort);
+  m.enable_tracing(4);
+  m.run([](simd::Proc& p) {
+    for (int i = 0; i < 6; ++i) pairwise_program(p, 2);
+  });
+  EXPECT_EQ(m.vp_trace(0).size(), 4u);
+  EXPECT_EQ(m.vp_trace(0).dropped(), 2u);
+  // An overflowed ring means partial totals: the validator must refuse.
+  const auto report = trace::validate_run(m, loggp::Strategy::kBlocked, 2);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_FALSE(report.vps[0].complete);
+
+  // The next run starts from a clean ring (same capacity).
+  m.run([](simd::Proc& p) { pairwise_program(p, 2); });
+  EXPECT_EQ(m.vp_trace(0).size(), 1u);
+  EXPECT_EQ(m.vp_trace(0).dropped(), 0u);
+  EXPECT_EQ(m.vp_trace(0).capacity(), 4u);
+
+  m.disable_tracing();
+  EXPECT_FALSE(m.tracing());
+}
+
+TEST(MachineTracing, DisabledByDefault) {
+  simd::Machine m(2, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  EXPECT_FALSE(m.tracing());
+  // Runs fine with no rings armed; trace_remap is a no-op.
+  m.run([](simd::Proc& p) {
+    p.trace_remap(1, trace::LayoutTag::kBlocked, trace::LayoutTag::kBlocked);
+    pairwise_program(p, 4);
+  });
+}
+
+TEST(Jsonl, MetaLinePlusOneLinePerEvent) {
+  simd::Machine m(2, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  m.enable_tracing(8);
+  m.run([](simd::Proc& p) {
+    for (int i = 0; i < 2; ++i) pairwise_program(p, 4);
+  });
+  std::ostringstream os;
+  const auto written =
+      trace::write_jsonl(os, m, {.label = "test \"x\"", .algorithm = "pairwise",
+                                 .keys_per_proc = 4});
+  EXPECT_EQ(written, 4u);  // 2 VPs x 2 events
+  const std::string out = os.str();
+  std::size_t lines = 0;
+  for (const char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 5u);  // meta + 4 events
+  EXPECT_NE(out.find("\"type\":\"meta\""), std::string::npos);
+  EXPECT_NE(out.find("\"label\":\"test \\\"x\\\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"mode\":\"long\""), std::string::npos);
+  EXPECT_NE(out.find("\"type\":\"exchange\""), std::string::npos);
+}
+
+// ---- Validator: measured == predicted for the three strategies -------
+
+class TraceValidationTest : public ::testing::TestWithParam<simd::MessageMode> {};
+
+TEST_P(TraceValidationTest, BlockedMergeMatchesPrediction) {
+  const int P = 8;
+  const std::uint64_t n = 1u << 9;
+  simd::Machine m(P, loggp::meiko_cs2(), GetParam());
+  m.enable_tracing();
+  auto keys = util::generate_keys(n * P, util::KeyDistribution::kUniform31, 1);
+  run_blocked_spmd_on(m, keys, [](simd::Proc& p, std::span<std::uint32_t> s) {
+    bitonic::blocked_merge_sort(p, s);
+  });
+  const auto report = trace::validate_run(m, loggp::Strategy::kBlocked, n);
+  EXPECT_TRUE(report.all_ok()) << report.summary();
+}
+
+TEST_P(TraceValidationTest, CyclicBlockedMatchesPrediction) {
+  const int P = 8;
+  const std::uint64_t n = 1u << 9;
+  simd::Machine m(P, loggp::meiko_cs2(), GetParam());
+  m.enable_tracing();
+  auto keys = util::generate_keys(n * P, util::KeyDistribution::kUniform31, 2);
+  run_blocked_spmd_on(m, keys, [](simd::Proc& p, std::span<std::uint32_t> s) {
+    bitonic::cyclic_blocked_sort(p, s);
+  });
+  const auto report = trace::validate_run(m, loggp::Strategy::kCyclicBlocked, n);
+  EXPECT_TRUE(report.all_ok()) << report.summary();
+}
+
+TEST_P(TraceValidationTest, SmartMatchesPrediction) {
+  const int P = 8;
+  const std::uint64_t n = 1u << 9;  // lgP(lgP+1)/2 = 6 <= 9: usual regime
+  simd::Machine m(P, loggp::meiko_cs2(), GetParam());
+  m.enable_tracing();
+  auto keys = util::generate_keys(n * P, util::KeyDistribution::kUniform31, 3);
+  run_blocked_spmd_on(m, keys, [](simd::Proc& p, std::span<std::uint32_t> s) {
+    bitonic::smart_sort(p, s);
+  });
+  const auto report = trace::validate_run(m, loggp::Strategy::kSmart, n);
+  EXPECT_TRUE(report.all_ok()) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TraceValidationTest,
+                         ::testing::Values(simd::MessageMode::kShort,
+                                           simd::MessageMode::kLong),
+                         [](const auto& info) {
+                           return info.param == simd::MessageMode::kShort ? "Short"
+                                                                          : "Long";
+                         });
+
+// Regression: the pre-fix cyclic_blocked_metrics truncated
+// 2*n*(P-1)/P*lgP at n < P.  The sort itself is inadmissible there, but
+// the remap sequence (blocked -> cyclic -> blocked, lgP times) is well
+// defined — execute it raw and check the trace agrees with the fixed
+// formula and disagrees with the old one.
+TEST(TraceValidation, CatchesCyclicTruncationBugAtSmallN) {
+  const std::uint64_t n = 2, P = 8, lgP = 3;
+  simd::Machine m(static_cast<int>(P), loggp::meiko_cs2(), simd::MessageMode::kLong);
+  m.enable_tracing();
+  m.run([&](simd::Proc& p) {
+    const auto blocked = layout::BitLayout::blocked(1, 3);
+    const auto cyclic = layout::BitLayout::cyclic(1, 3);
+    std::vector<std::uint32_t> keys(n, static_cast<std::uint32_t>(p.rank()));
+    std::vector<std::uint32_t> scratch;
+    bitonic::RemapWorkspace to_cyclic, to_blocked;
+    for (std::uint64_t i = 0; i < lgP; ++i) {
+      remap_data(p, blocked, cyclic, keys, scratch, to_cyclic);
+      remap_data(p, cyclic, blocked, keys, scratch, to_blocked);
+    }
+  });
+
+  const auto fixed = loggp::cyclic_blocked_metrics(n, P);
+  // The formula this replaced: divide truncates before the * lgP.
+  const std::uint64_t old_elements = 2 * n * (P - 1) / P * lgP;  // == 9
+  ASSERT_EQ(old_elements, 9u);
+  EXPECT_EQ(fixed.elements, 12u);  // 2 lgP remaps x n: worst case keeps nothing
+
+  // Below n = P the per-processor traffic is not uniform: the few ranks
+  // the blocked<->cyclic address shift maps to themselves (here 0 and
+  // P-1) retain one key per remap, everyone else sends everything.  The
+  // metric is the critical path: the busiest processor must match it
+  // exactly, nobody may exceed it — and the old truncated value (9)
+  // matches NO processor's actual traffic.
+  std::uint64_t max_elements = 0, max_messages = 0;
+  for (int r = 0; r < m.nprocs(); ++r) {
+    const auto meas = trace::measure(m.vp_trace(r));
+    EXPECT_EQ(meas.remaps, fixed.remaps);
+    EXPECT_LE(meas.elements, fixed.elements);
+    EXPECT_LE(meas.messages, fixed.messages);
+    EXPECT_NE(meas.elements, old_elements);  // the validator catches the bug
+    max_elements = std::max(max_elements, meas.elements);
+    max_messages = std::max(max_messages, meas.messages);
+  }
+  EXPECT_EQ(max_elements, fixed.elements);
+  EXPECT_EQ(max_messages, fixed.messages);
+}
+
+// Regression: outside the usual regime (lgP(lgP+1)/2 > lg n) the
+// pre-fix smart_metrics kept returning the in-regime closed forms in
+// Release (the guard was assert-only).  n = 8, P = 8 is out of regime;
+// the measured trace matches the general-shape schedule formulas and
+// refutes the closed forms.
+TEST(TraceValidation, CatchesSmartClosedFormOutOfRegime) {
+  const std::uint64_t n = 8, P = 8, lgP = 3;
+  simd::Machine m(static_cast<int>(P), loggp::meiko_cs2(), simd::MessageMode::kLong);
+  m.enable_tracing();
+  auto keys = util::generate_keys(n * P, util::KeyDistribution::kUniform31, 4);
+  run_blocked_spmd_on(m, keys, [](simd::Proc& p, std::span<std::uint32_t> s) {
+    bitonic::smart_sort(p, s);
+  });
+
+  const std::uint64_t old_remaps = lgP + 1;  // in-regime closed form R
+  const auto fixed = loggp::smart_metrics(n, P);
+  EXPECT_EQ(fixed.remaps, schedule::smart_remap_count(3, 3));
+  EXPECT_NE(fixed.remaps, old_remaps);
+
+  const auto report = trace::validate_run(m, loggp::Strategy::kSmart, n);
+  EXPECT_TRUE(report.all_ok()) << report.summary();
+  for (int r = 0; r < m.nprocs(); ++r) {
+    EXPECT_NE(trace::measure(m.vp_trace(r)).remaps, old_remaps);
+  }
+}
+
+// ---- Fitter ----------------------------------------------------------
+
+TEST(Fit, RecoversParametersFromLongModeCalibration) {
+  const auto truth = loggp::meiko_cs2();
+  simd::Machine m(8, truth, simd::MessageMode::kLong);
+  const auto fit = trace::calibrate(m, truth.o);
+  EXPECT_FALSE(m.tracing());  // restored
+  EXPECT_TRUE(fit.long_mode);
+  EXPECT_GE(fit.events, 3u);
+  // The machine charges the exact formulas, so recovery is essentially
+  // exact — far inside the 5% acceptance band.
+  EXPECT_NEAR(fit.params.L, truth.L, 0.05 * truth.L);
+  EXPECT_NEAR(fit.params.g, truth.g, 0.05 * truth.g);
+  EXPECT_NEAR(fit.params.G, truth.G, 0.05 * truth.G);
+  EXPECT_DOUBLE_EQ(fit.params.o, truth.o);
+  EXPECT_LT(fit.max_rel_residual, 1e-9);
+}
+
+TEST(Fit, RecoversParametersFromShortModeCalibration) {
+  const auto truth = loggp::meiko_cs2();
+  simd::Machine m(4, truth, simd::MessageMode::kShort);
+  const auto fit = trace::calibrate(m, truth.o);
+  EXPECT_FALSE(fit.long_mode);
+  EXPECT_NEAR(fit.params.L, truth.L, 0.05 * truth.L);
+  EXPECT_NEAR(fit.params.g, truth.g, 0.05 * truth.g);
+  EXPECT_DOUBLE_EQ(fit.params.G, 0.0);  // unexercised by short messages
+}
+
+TEST(Fit, FittedParametersReproduceStrategyChoice) {
+  const auto truth = loggp::modern_cluster();
+  simd::Machine m(8, truth, simd::MessageMode::kLong);
+  const auto fit = trace::calibrate(m, truth.o);
+  for (const std::uint64_t n : {std::uint64_t{64}, std::uint64_t{1} << 12,
+                                std::uint64_t{1} << 18}) {
+    for (const std::uint64_t P : {std::uint64_t{8}, std::uint64_t{64}}) {
+      EXPECT_EQ(loggp::choose_strategy(fit.params, n, P, true),
+                loggp::choose_strategy(truth, n, P, true))
+          << "n=" << n << " P=" << P;
+    }
+  }
+}
+
+TEST(Fit, ThrowsWithoutTracingOrEnoughRows) {
+  simd::Machine m(2, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  EXPECT_THROW((void)trace::fit_params(m, 1.0), std::invalid_argument);
+  m.enable_tracing(8);
+  EXPECT_THROW((void)trace::fit_params(m, 1.0), std::invalid_argument);  // no rows
+  // Long mode needs two distinct message counts: P = 2 pairwise-only
+  // traces leave the g column identically zero.
+  m.run([](simd::Proc& p) {
+    for (const std::size_t sz : {std::size_t{4}, std::size_t{16}, std::size_t{64}}) {
+      pairwise_program(p, sz);
+    }
+  });
+  EXPECT_THROW((void)trace::fit_params(m, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)trace::calibrate(m, 1.0), std::invalid_argument);  // P < 4
+}
+
+}  // namespace
+}  // namespace bsort
