@@ -227,11 +227,79 @@ int main() {
               << ", \"wall_seconds_untraced\": " << rep_off.wall_seconds
               << ", \"wall_seconds_traced\": " << rep_on.wall_seconds
               << ", \"wall_ratio\": " << (rep_on.wall_seconds / rep_off.wall_seconds)
-              << "}\n}\n";
+              << "},\n";
     if (allocs_on != 0) {
       std::cerr << "WARNING: traced steady-state remap performed " << allocs_on
                 << " heap allocations (expected 0)\n";
       return 3;
+    }
+  }
+
+  // ---- hardening-defenses overhead + allocation audit -----------------
+  // The same warmed-up remap loop with integrity checking enabled and
+  // the barrier watchdog armed: per-slot checksums are computed at every
+  // commit and verified at every recv_view, and every protocol step
+  // publishes watchdog state — yet the measured window must still
+  // allocate exactly nothing (checksums are pure arithmetic; the
+  // watchdog snapshot buffers belong to the Machine).  With both
+  // defenses OFF the cost is one predicted branch per protocol step,
+  // so wall_ratio_off must sit inside run-to-run noise of 1.0.
+  {
+    const int P = 16;
+    const int log_p = 4;
+    const int log_n = 10;
+    const std::size_t n = std::size_t{1} << log_n;
+    const int kWarmup = 3;
+    const int kMeasured = 20;
+
+    simd::Machine m(P, loggp::meiko_cs2(), simd::MessageMode::kLong);
+    std::atomic<std::uint64_t> window_allocs{0};
+    const auto program = [&](simd::Proc& p) {
+      const auto blocked = layout::BitLayout::blocked(log_n, log_p);
+      const auto cyclic = layout::BitLayout::cyclic(log_n, log_p);
+      std::vector<std::uint32_t> a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<std::uint32_t>((i * 2654435761u) ^
+                                          static_cast<std::uint32_t>(p.rank()));
+      }
+      bitonic::RemapWorkspace ws_bc, ws_cb;
+      for (int r = 0; r < kWarmup; ++r) {
+        bitonic::remap_data_into(p, blocked, cyclic, a, b, ws_bc);
+        bitonic::remap_data_into(p, cyclic, blocked, b, a, ws_cb);
+      }
+      p.barrier();
+      std::uint64_t t0 = 0;
+      if (p.rank() == 0) t0 = g_allocs.load();
+      for (int r = 0; r < kMeasured; ++r) {
+        bitonic::remap_data_into(p, blocked, cyclic, a, b, ws_bc);
+        bitonic::remap_data_into(p, cyclic, blocked, b, a, ws_cb);
+      }
+      p.barrier();
+      if (p.rank() == 0) window_allocs.store(g_allocs.load() - t0);
+    };
+
+    const auto rep_off = m.run(program);  // defenses off (baseline)
+    const std::uint64_t allocs_off = window_allocs.load();
+    const auto rep_off2 = m.run(program);  // second baseline rep: noise floor
+    m.enable_integrity();
+    m.set_watchdog(300.0);
+    m.run(program);  // warm the integrity-path buffers before measuring
+    const auto rep_on = m.run(program);
+    const std::uint64_t allocs_on = window_allocs.load();
+
+    std::cout << "  \"defenses\": {\"nprocs\": " << P << ", \"keys_per_proc\": " << n
+              << ", \"heap_allocations_off\": " << allocs_off
+              << ", \"heap_allocations_armed\": " << allocs_on
+              << ", \"wall_seconds_off\": " << rep_off.wall_seconds
+              << ", \"wall_seconds_off_rep2\": " << rep_off2.wall_seconds
+              << ", \"wall_seconds_armed\": " << rep_on.wall_seconds
+              << ", \"wall_ratio_off\": " << (rep_off2.wall_seconds / rep_off.wall_seconds)
+              << ", \"wall_ratio_armed\": " << (rep_on.wall_seconds / rep_off.wall_seconds)
+              << "}\n}\n";
+    if (allocs_on != 0) {
+      std::cerr << "WARNING: defenses-armed steady-state remap performed " << allocs_on
+                << " heap allocations (expected 0)\n";
+      return 4;
     }
   }
   return 0;

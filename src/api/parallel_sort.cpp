@@ -1,13 +1,74 @@
 #include "api/parallel_sort.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <sstream>
 
+#include "fault/error.hpp"
+#include "fault/plan.hpp"
 #include "psort/column_sort.hpp"
 #include "psort/psort.hpp"
 #include "util/bits.hpp"
 
 namespace bsort::api {
+
+namespace {
+
+/// splitmix64 finalizer: spreads each key over 64 bits so the
+/// order-independent permutation fingerprint (sum + xor of hashes)
+/// cannot be fooled by compensating key edits.
+std::uint64_t mix_key(std::uint32_t k) {
+  std::uint64_t x = k + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct Fingerprint {
+  std::size_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t xr = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(const std::vector<std::uint32_t>& keys) {
+  Fingerprint f;
+  f.count = keys.size();
+  for (const std::uint32_t k : keys) {
+    const std::uint64_t h = mix_key(k);
+    f.sum += h;
+    f.xr ^= h;
+  }
+  return f;
+}
+
+/// Sortedness + permutation check; reports the first diverging VP (or
+/// VP boundary) so a failure localizes the broken exchange.
+void self_check_output(const std::vector<std::uint32_t>& keys,
+                       const Fingerprint& before, std::size_t keys_per_proc) {
+  for (std::size_t i = 0; i + 1 < keys.size(); ++i) {
+    if (keys[i] <= keys[i + 1]) continue;
+    const std::size_t vp = keys_per_proc == 0 ? 0 : i / keys_per_proc;
+    const bool boundary = keys_per_proc != 0 && (i + 1) % keys_per_proc == 0;
+    std::ostringstream os;
+    os << "self-check: output not sorted at index " << i << " (" << keys[i] << " > "
+       << keys[i + 1] << "), "
+       << (boundary ? "at the boundary between vp " : "inside the block of vp ");
+    if (boundary) {
+      os << vp << " and vp " << vp + 1;
+    } else {
+      os << vp;
+    }
+    throw IntegrityError(os.str(), {static_cast<int>(vp), -1, -1});
+  }
+  if (fingerprint(keys) == before) return;
+  std::ostringstream os;
+  os << "self-check: output is not a permutation of the input (" << keys.size()
+     << " keys; multiset fingerprint mismatch)";
+  throw IntegrityError(os.str());
+}
+
+}  // namespace
 
 std::string_view algorithm_name(Algorithm a) {
   switch (a) {
@@ -57,10 +118,32 @@ bool config_valid(const Config& config, std::size_t total_keys) {
   return false;
 }
 
-Outcome parallel_sort(std::vector<std::uint32_t>& keys, const Config& config) {
-  assert(config_valid(config, keys.size()));
-  const std::size_t n = keys.size() / static_cast<std::size_t>(config.nprocs);
-  simd::Machine machine(config.nprocs, config.params, config.mode, config.cpu_scale);
+namespace {
+
+/// Disarms the machine's fault plan on scope exit, so a throwing run
+/// never leaks injection state into the caller's next sort.
+struct FaultGuard {
+  simd::Machine& machine;
+  ~FaultGuard() { machine.disarm_faults(); }
+};
+
+Outcome run_sort_on(simd::Machine& machine, std::vector<std::uint32_t>& keys,
+                    const Config& config) {
+  const std::size_t n =
+      keys.empty() ? 0 : keys.size() / static_cast<std::size_t>(config.nprocs);
+
+  if (config.integrity) {
+    machine.enable_integrity();
+  } else {
+    machine.disable_integrity();
+  }
+  machine.set_watchdog(config.watchdog_seconds);
+  machine.disarm_faults();
+  FaultGuard guard{machine};
+  if (config.faults != nullptr) machine.arm_faults(*config.faults);
+
+  const Fingerprint before =
+      config.self_check ? fingerprint(keys) : Fingerprint{};
 
   Outcome out;
   if (keys.empty()) {
@@ -68,6 +151,7 @@ Outcome parallel_sort(std::vector<std::uint32_t>& keys, const Config& config) {
     // well-formed (P processors, zero communication).
     out.report = machine.run([](simd::Proc&) {});
     out.sorted = true;
+    out.faults_fired = machine.faults_fired();
     return out;
   }
   if (config.algorithm == Algorithm::kParallelRadix ||
@@ -115,8 +199,44 @@ Outcome parallel_sort(std::vector<std::uint32_t>& keys, const Config& config) {
       }
     });
   }
-  out.sorted = std::is_sorted(keys.begin(), keys.end());
+  out.faults_fired = machine.faults_fired();
+  if (config.self_check) {
+    self_check_output(keys, before, n);  // throws IntegrityError on failure
+    out.sorted = true;
+  } else {
+    out.sorted = std::is_sorted(keys.begin(), keys.end());
+  }
   return out;
+}
+
+}  // namespace
+
+Outcome parallel_sort(std::vector<std::uint32_t>& keys, const Config& config) {
+  if (!config_valid(config, keys.size())) {
+    std::ostringstream os;
+    os << "parallel_sort: invalid config for " << keys.size() << " keys ("
+       << algorithm_name(config.algorithm) << ", P=" << config.nprocs << ")";
+    throw ConfigError(os.str());
+  }
+  simd::Machine machine(config.nprocs, config.params, config.mode, config.cpu_scale);
+  return run_sort_on(machine, keys, config);
+}
+
+Outcome parallel_sort_on(simd::Machine& machine, std::vector<std::uint32_t>& keys,
+                         const Config& config) {
+  if (machine.nprocs() != config.nprocs) {
+    std::ostringstream os;
+    os << "parallel_sort_on: machine has " << machine.nprocs()
+       << " procs but config.nprocs is " << config.nprocs;
+    throw ConfigError(os.str());
+  }
+  if (!config_valid(config, keys.size())) {
+    std::ostringstream os;
+    os << "parallel_sort_on: invalid config for " << keys.size() << " keys ("
+       << algorithm_name(config.algorithm) << ", P=" << config.nprocs << ")";
+    throw ConfigError(os.str());
+  }
+  return run_sort_on(machine, keys, config);
 }
 
 }  // namespace bsort::api

@@ -13,6 +13,10 @@
 #include "loggp/params.hpp"
 #include "simd/machine.hpp"
 
+namespace bsort::fault {
+struct FaultPlan;
+}
+
 namespace bsort::api {
 
 enum class Algorithm {
@@ -34,19 +38,44 @@ struct Config {
   double cpu_scale = 1.0;
   Algorithm algorithm = Algorithm::kSmartBitonic;
   bitonic::SmartOptions smart;  ///< used by kSmartBitonic only
+
+  // ---- hardening knobs (src/fault/) ---------------------------------
+  /// Real-time run deadline; 0 disables the barrier watchdog.  On
+  /// expiry the run fails with BarrierTimeout carrying a per-VP
+  /// diagnosis instead of hanging.
+  double watchdog_seconds = 0;
+  /// Per-slot exchange checksums, verified on every recv_view.
+  bool integrity = false;
+  /// Post-sort validation: output must be sorted AND a permutation of
+  /// the input (multiset fingerprint).  Failure throws IntegrityError
+  /// naming the first diverging VP / VP boundary.
+  bool self_check = false;
+  /// Fault plan to arm for this run (testing; not owned, may be null).
+  const fault::FaultPlan* faults = nullptr;
 };
 
 struct Outcome {
   simd::RunReport report;
   bool sorted = false;  ///< output verified in non-decreasing order
+  std::uint64_t faults_fired = 0;  ///< injected fault rules that landed
 };
 
 /// True iff `config` can sort `total_keys` keys (power-of-two and shape
 /// constraints of the selected algorithm).
 bool config_valid(const Config& config, std::size_t total_keys);
 
-/// Sort `keys` in place on the simulated machine.  Requires
-/// config_valid(config, keys.size()).
+/// Sort `keys` in place on the simulated machine.  Throws ConfigError
+/// if !config_valid(config, keys.size()); propagates the structured
+/// bsort::Error of a failed run (keys are then unspecified but valid).
 Outcome parallel_sort(std::vector<std::uint32_t>& keys, const Config& config);
+
+/// Same, but on a caller-owned Machine (pooling: repeated sorts reuse
+/// the VP threads and exchange arenas; also how tests prove a Machine
+/// survives a faulted run).  config.nprocs must match machine.nprocs()
+/// or ConfigError is thrown.  The machine's integrity/watchdog defenses
+/// are set from `config`; any armed fault plan is disarmed when the
+/// call returns or throws.
+Outcome parallel_sort_on(simd::Machine& machine, std::vector<std::uint32_t>& keys,
+                         const Config& config);
 
 }  // namespace bsort::api

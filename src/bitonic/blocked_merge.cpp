@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "bitonic/sorts.hpp"
+#include "fault/error.hpp"
 #include "kernel/kernel.hpp"
 #include "localsort/radix_sort.hpp"
 #include "util/bits.hpp"
@@ -12,7 +13,10 @@ namespace bsort::bitonic {
 void blocked_merge_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
   const auto rank = static_cast<std::uint64_t>(p.rank());
   const int log_p = util::ilog2(static_cast<std::uint64_t>(p.nprocs()));
-  assert(util::is_pow2(keys.size()));
+  if (!util::is_pow2(keys.size())) {
+    throw ConfigError("blocked_merge_sort: keys per processor must be a power of two",
+                      {p.rank(), -1, -1});
+  }
   std::vector<std::uint32_t> scratch;
 
   // First lg n stages: one local sort; the block's merge direction is the

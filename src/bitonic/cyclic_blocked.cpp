@@ -4,6 +4,7 @@
 
 #include "bitonic/remap_exec.hpp"
 #include "bitonic/sorts.hpp"
+#include "fault/error.hpp"
 #include "localsort/bitonic_merge.hpp"
 #include "localsort/compare_exchange.hpp"
 #include "localsort/radix_sort.hpp"
@@ -15,7 +16,11 @@ void cyclic_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
   const auto rank = static_cast<std::uint64_t>(p.rank());
   const int log_p = util::ilog2(static_cast<std::uint64_t>(p.nprocs()));
   const int log_n = util::ilog2(keys.size());
-  assert(log_n >= log_p && "cyclic-blocked remapping requires N >= P^2");
+  if (!util::is_pow2(keys.size()) || log_n < log_p) {
+    throw ConfigError(
+        "cyclic_blocked_sort: needs a power-of-two n >= P per processor (N >= P^2)",
+        {p.rank(), -1, -1});
+  }
   const std::uint64_t n = keys.size();
   std::vector<std::uint32_t> scratch;
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <sstream>
 
+#include "fault/error.hpp"
 #include "kernel/kernel.hpp"
 
 namespace bsort::bitonic {
@@ -86,8 +88,14 @@ void unpack_message(std::span<std::uint32_t> out, std::span<const std::uint32_t>
 void remap_data_into(simd::Proc& p, const layout::BitLayout& from,
                      const layout::BitLayout& to, std::span<const std::uint32_t> in,
                      std::span<std::uint32_t> out, RemapWorkspace& ws) {
-  assert(in.size() == out.size());
-  assert(in.data() != out.data());
+  if (in.size() != out.size()) {
+    throw ConfigError("remap_data_into: in/out spans differ in size",
+                      {p.rank(), -1, -1});
+  }
+  if (in.data() == out.data()) {
+    throw ConfigError("remap_data_into: in/out spans must not alias",
+                      {p.rank(), -1, -1});
+  }
   const auto rank = static_cast<std::uint64_t>(p.rank());
 
   // Plan construction (cached across repeats of the same layout pair).
@@ -133,7 +141,17 @@ void remap_data_into(simd::Proc& p, const layout::BitLayout& from,
         }
       } else {
         const auto msg = p.recv_view(o);
-        assert(msg.size() == M);
+        if (msg.size() != M) {
+          // Every remap message in a group has the same size by
+          // construction; a mismatch means the payload was damaged in
+          // flight (caught here even with integrity checking off).
+          std::ostringstream os;
+          os << "remap unpack: message from vp " << ws.recv_peers[o] << " has "
+             << msg.size() << " words, expected " << M;
+          throw ExchangeError(os.str(), {p.rank(), -1, -1},
+                              static_cast<std::int64_t>(ws.recv_peers[o]),
+                              static_cast<std::int64_t>(o));
+        }
         unpack_message(out, msg, ws.plan.recv_order.data(), spat,
                        ws.plan.unpack_run_log2);
       }

@@ -5,6 +5,7 @@
 
 #include "bitonic/remap_exec.hpp"
 #include "bitonic/sorts.hpp"
+#include "fault/error.hpp"
 #include "localsort/bitonic_merge.hpp"
 #include "localsort/compare_exchange.hpp"
 #include "localsort/pway_merge.hpp"
@@ -103,7 +104,10 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
   const int log_p = util::ilog2(static_cast<std::uint64_t>(p.nprocs()));
   if (log_p == 0 && keys.size() < 2) return;  // single processor, <= 1 key
   const int log_n = util::ilog2(keys.size());
-  assert(log_n >= 1 && "smart sort needs at least 2 keys per processor");
+  if (log_n < 1 || !util::is_pow2(keys.size())) {
+    throw ConfigError("smart_sort: needs a power-of-two count of at least 2 keys per processor",
+                      {p.rank(), -1, -1});
+  }
   const std::uint64_t n = keys.size();
   std::vector<std::uint32_t> scratch;
 

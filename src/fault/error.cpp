@@ -1,0 +1,57 @@
+#include "fault/error.hpp"
+
+#include <sstream>
+
+namespace bsort {
+
+namespace {
+
+std::string with_context(const std::string& what, const ErrorContext& ctx) {
+  if (ctx.rank < 0 && ctx.exchange < 0 && ctx.remap < 0) return what;
+  std::ostringstream os;
+  os << what << " [";
+  bool sep = false;
+  const auto field = [&](const char* name, std::int64_t v) {
+    if (v < 0) return;
+    if (sep) os << ", ";
+    os << name << ' ' << v;
+    sep = true;
+  };
+  field("vp", ctx.rank);
+  field("exchange", ctx.exchange);
+  field("remap", ctx.remap);
+  os << ']';
+  return os.str();
+}
+
+std::string timeout_message(double deadline_seconds,
+                            const std::vector<BarrierTimeout::VpSnapshot>& states) {
+  std::ostringstream os;
+  os << "barrier watchdog expired after " << deadline_seconds
+     << "s; run poisoned.  VP states:";
+  for (const auto& s : states) {
+    os << "\n  vp " << s.rank << ": " << s.where << ", " << s.exchanges
+       << " exchanges committed, clock " << s.clock_us << "us";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Error::Error(const std::string& what, ErrorContext ctx)
+    : std::runtime_error(with_context(what, ctx)), ctx_(ctx) {}
+
+ExchangeError::ExchangeError(const std::string& what, ErrorContext ctx,
+                             std::int64_t peer, std::int64_t slot)
+    : Error(what, ctx), peer_(peer), slot_(slot) {}
+
+IntegrityError::IntegrityError(const std::string& what, ErrorContext ctx,
+                               std::int64_t sender, std::int64_t slot)
+    : Error(what, ctx), sender_(sender), slot_(slot) {}
+
+BarrierTimeout::BarrierTimeout(double deadline_seconds, std::vector<VpSnapshot> states)
+    : Error(timeout_message(deadline_seconds, states)),
+      deadline_seconds_(deadline_seconds),
+      states_(std::move(states)) {}
+
+}  // namespace bsort

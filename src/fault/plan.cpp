@@ -1,0 +1,79 @@
+#include "fault/plan.hpp"
+
+#include <sstream>
+
+namespace bsort::fault {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kOversize: return "oversize";
+  }
+  return "?";
+}
+
+namespace {
+
+/// splitmix64: tiny, portable, and well-distributed — the plan
+/// generator must produce identical rules on every platform, which
+/// rules out std::uniform_int_distribution (implementation-defined).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int nprocs, std::uint64_t max_exchange,
+                            std::span<const FaultKind> kinds, int nrules) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (kinds.empty() || nprocs < 1 || nrules < 1) return plan;
+  std::uint64_t state = seed;
+  const auto next = [&] { return mix64(++state); };
+  plan.rules.reserve(static_cast<std::size_t>(nrules));
+  for (int i = 0; i < nrules; ++i) {
+    FaultRule r;
+    r.kind = kinds[next() % kinds.size()];
+    r.rank = static_cast<int>(next() % static_cast<std::uint64_t>(nprocs));
+    r.exchange = max_exchange == 0 ? 0 : next() % (max_exchange + 1);
+    r.delay_us = 50.0 + static_cast<double>(next() % 10000);  // 50us..10ms simulated
+    r.real_ms = static_cast<double>(next() % 20);             // 0..19ms real
+    r.bit = static_cast<std::uint32_t>(next());
+    r.delta = 1 + static_cast<std::size_t>(next() % kMaxSizeDelta);
+    plan.rules.push_back(r);
+  }
+  return plan;
+}
+
+std::string describe(const FaultPlan& plan) {
+  std::ostringstream os;
+  os << "{\"type\":\"fault_plan\",\"seed\":" << plan.seed << ",\"rules\":[";
+  bool first = true;
+  for (const auto& r : plan.rules) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"kind\":\"" << fault_kind_name(r.kind) << "\",\"rank\":" << r.rank
+       << ",\"exchange\":" << r.exchange << ",\"delay_us\":" << r.delay_us
+       << ",\"real_ms\":" << r.real_ms << ",\"bit\":" << r.bit
+       << ",\"delta\":" << r.delta << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::uint64_t checksum(std::span<const std::uint32_t> words) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (const std::uint32_t w : words) {
+    h ^= w;
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace bsort::fault

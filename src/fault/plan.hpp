@@ -1,0 +1,93 @@
+// Deterministic, seeded fault injection for the simulated machine.
+//
+// A FaultPlan is a declarative list of rules; Machine::arm_faults()
+// installs a copy and the Machine then injects each rule at the first
+// ELIGIBLE exchange whose per-VP ordinal is >= the rule's `exchange`
+// (eligibility: corruption and size faults need a non-empty non-self
+// send slot; crashes and stragglers fire unconditionally).  Each rule
+// fires at most once per run; Machine::faults_fired() reports how many
+// actually landed, so a fuzzer can tell a clean run from a dodged one.
+//
+// The rules map one-to-one onto the Machine defenses this subsystem
+// exists to exercise:
+//
+//   kStraggler — extra simulated time charged to the victim plus a
+//                BOUNDED real stall (clamped to kMaxRealStallMs) before
+//                the commit barrier: skew that the barrier watchdog must
+//                either ride out or diagnose, never hang on.
+//   kCrash     — throws ExchangeError at the victim's commit; the
+//                poisoned barrier must unwind every peer and
+//                Machine::run() must rethrow the structured error.
+//   kCorrupt   — flips one bit of a packed send slot AFTER the
+//                integrity checksum was sealed: exactly the silent
+//                payload damage enable_integrity() exists to catch.
+//   kTruncate / kOversize — publishes a wrong payload size for one
+//                slot (the oversized read stays inside the sender's
+//                arena: open_exchange leaves kMaxSizeDelta slack when
+//                faults are armed).  Caught as an IntegrityError size
+//                mismatch when integrity is on, or by the receiving
+//                sort's slot-size check / parallel_sort's self-check.
+//
+// Determinism: FaultPlan::random derives every rule from the seed via
+// its own counter-free generator, so a plan is fully reproducible from
+// (seed, nprocs, max_exchange) — describe() prints the whole plan as
+// one JSON line for CI repro artifacts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bsort::fault {
+
+enum class FaultKind : std::uint8_t {
+  kStraggler = 0,
+  kCrash = 1,
+  kCorrupt = 2,
+  kTruncate = 3,
+  kOversize = 4,
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// Hard cap on a straggler's real (host) stall: injected skew must stay
+/// bounded so a faulted run always terminates even without a watchdog.
+inline constexpr double kMaxRealStallMs = 2000.0;
+
+/// Max elements a kOversize rule may add to a published slot size (and
+/// the arena slack reserved when faults are armed, keeping the
+/// oversized read inside the sender's allocation).
+inline constexpr std::size_t kMaxSizeDelta = 64;
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kStraggler;
+  int rank = 0;                 ///< victim VP
+  std::uint64_t exchange = 0;   ///< fires at first eligible ordinal >= this
+  double delay_us = 0;          ///< kStraggler: simulated delay charged
+  double real_ms = 0;           ///< kStraggler: real stall (clamped)
+  std::uint32_t bit = 0;        ///< kCorrupt: selects the word and bit to flip
+  std::size_t delta = 1;        ///< kTruncate/kOversize: size change (elements)
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;       ///< provenance only; rules are explicit
+  std::vector<FaultRule> rules;
+
+  /// Deterministic seeded generator: `nrules` rules drawn from `kinds`,
+  /// victims uniform over [0, nprocs), trigger ordinals uniform over
+  /// [0, max_exchange].  Same arguments => same plan, on every platform.
+  static FaultPlan random(std::uint64_t seed, int nprocs, std::uint64_t max_exchange,
+                          std::span<const FaultKind> kinds, int nrules = 1);
+};
+
+/// The whole plan as one JSON line (CI uploads this as the repro
+/// artifact when a chaos run fails).
+std::string describe(const FaultPlan& plan);
+
+/// FNV-1a over the 32-bit words of a payload; the per-slot integrity
+/// checksum sealed at commit_exchange and verified at recv_view.
+std::uint64_t checksum(std::span<const std::uint32_t> words);
+
+}  // namespace bsort::fault

@@ -3,14 +3,19 @@
 #include <time.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
+#include "fault/error.hpp"
+#include "fault/plan.hpp"
 #include "loggp/cost.hpp"
 
 namespace bsort::simd {
@@ -67,6 +72,10 @@ bool probe_thread_clock() {
 
 }  // namespace
 
+/// Sentinel in recv_declared: this view carries no integrity seal (self
+/// slot, or integrity was enabled after the exchange committed).
+inline constexpr std::size_t kUnsealed = static_cast<std::size_t>(-1);
+
 /// Persistent per-VP exchange buffers, recycled across exchanges and
 /// across run() calls.
 struct VpState {
@@ -78,6 +87,24 @@ struct VpState {
   std::vector<std::span<const std::uint32_t>> recv_views;
   std::size_t self_slot = static_cast<std::size_t>(-1);
   bool open = false;
+
+  /// open_exchange duplicate-peer scratch (bit 0 = seen as send peer,
+  /// bit 1 = seen as recv peer); sized to nprocs on first use and
+  /// recycled, so steady-state validation allocates nothing.
+  std::vector<std::uint8_t> peer_seen;
+
+  /// Integrity metadata of the current recv views (parallel to
+  /// recv_views): the size and checksum the sender sealed at commit.
+  /// recv_declared[i] == kUnsealed marks an unverified view.
+  std::vector<std::size_t> recv_declared;
+  std::vector<std::uint64_t> recv_sum;
+
+  /// Watchdog state, published by the owning VP at each protocol step
+  /// and read by the monitor thread (relaxed atomics: the snapshot is a
+  /// diagnostic, not a synchronization point).
+  std::atomic<const char*> st_where{"idle"};
+  std::atomic<std::uint64_t> st_exchanges{0};
+  std::atomic<double> st_clock{0};
 };
 
 /// Clock-synchronizing sense barrier, a host-only drain barrier, the
@@ -86,10 +113,24 @@ struct Machine::Impl {
   /// One mailbox cell: a view into the sending VP's arena.  Written by
   /// src at open_exchange (after the drain barrier), read and reset by
   /// dst at commit_exchange (after the sync barrier); the barriers make
-  /// every access race-free.
+  /// every access race-free.  With integrity checking on, the sender
+  /// also seals `declared`/`checksum` at commit (before the sync
+  /// barrier) — a fault that later tampers with `size` or the payload
+  /// can no longer alter the seal.
   struct Cell {
     const std::uint32_t* data = nullptr;
     std::size_t size = 0;
+    std::size_t declared = kUnsealed;  ///< sealed size (kUnsealed = no seal)
+    std::uint64_t checksum = 0;        ///< sealed FNV-1a of the payload
+  };
+
+  /// An armed fault plan plus its per-run firing state.  `fired` is
+  /// written only by the rule's victim VP; `fires` is the cross-VP
+  /// total exposed through Machine::faults_fired().
+  struct ActiveFaults {
+    fault::FaultPlan plan;
+    std::vector<std::uint8_t> fired;
+    std::atomic<std::uint64_t> fires{0};
   };
 
   explicit Impl(int nprocs, int timing_shards)
@@ -121,6 +162,13 @@ struct Machine::Impl {
   // runs only.
   bool trace_enabled = false;
   std::vector<trace::VpTrace> traces;
+
+  // ---- hardening (src/fault/) ---------------------------------------
+  bool integrity = false;             ///< per-slot checksum verification
+  double watchdog_s = 0;              ///< real-time run deadline (0 = off)
+  std::unique_ptr<ActiveFaults> faults;  ///< armed fault plan (null = off)
+  bool timed_out = false;             ///< watchdog fired (guarded by mu)
+  std::vector<BarrierTimeout::VpSnapshot> timeout_states;
 
   bool thread_clock = false;
   std::vector<std::mutex> timed_shards;  ///< fallback timing locks
@@ -209,11 +257,17 @@ struct Machine::Impl {
       }
       try {
         (*prog)(*proc);
+        vps[static_cast<std::size_t>(rank)].st_where.store("done",
+                                                           std::memory_order_relaxed);
       } catch (const BarrierPoison&) {
         // A peer died; this VP unwound cleanly through the poisoned
         // barrier and carries no error of its own.
+        vps[static_cast<std::size_t>(rank)].st_where.store("unwound",
+                                                           std::memory_order_relaxed);
       } catch (...) {
         errors[static_cast<std::size_t>(rank)] = std::current_exception();
+        vps[static_cast<std::size_t>(rank)].st_where.store("failed",
+                                                           std::memory_order_relaxed);
         poison();
       }
       {
@@ -271,6 +325,38 @@ const trace::VpTrace& Machine::vp_trace(int rank) const {
   return impl_->traces[static_cast<std::size_t>(rank)];
 }
 
+void Machine::enable_integrity() { impl_->integrity = true; }
+void Machine::disable_integrity() { impl_->integrity = false; }
+bool Machine::integrity() const { return impl_->integrity; }
+
+void Machine::set_watchdog(double seconds) {
+  if (seconds < 0) {
+    throw ConfigError("set_watchdog: deadline must be >= 0 seconds");
+  }
+  impl_->watchdog_s = seconds;
+}
+double Machine::watchdog_seconds() const { return impl_->watchdog_s; }
+
+void Machine::arm_faults(const fault::FaultPlan& plan) {
+  for (const auto& r : plan.rules) {
+    if (r.rank < 0 || r.rank >= nprocs_) {
+      throw ConfigError("arm_faults: rule victim rank out of range",
+                        {.rank = r.rank});
+    }
+  }
+  auto af = std::make_unique<Impl::ActiveFaults>();
+  af->plan = plan;
+  af->fired.assign(plan.rules.size(), 0);
+  impl_->faults = std::move(af);
+}
+
+void Machine::disarm_faults() { impl_->faults.reset(); }
+bool Machine::faults_armed() const { return impl_->faults != nullptr; }
+
+std::uint64_t Machine::faults_fired() const {
+  return impl_->faults ? impl_->faults->fires.load(std::memory_order_relaxed) : 0;
+}
+
 double Proc::cpu_scale() const { return machine_.cpu_scale_; }
 
 MessageMode Proc::mode() const { return machine_.mode(); }
@@ -283,14 +369,24 @@ double Proc::now_us() {
 }
 
 Proc::TimedToken Proc::timed_begin() {
+  if (in_timed_) {
+    throw ConfigError("nested Proc::timed sections are not allowed",
+                      {rank_, static_cast<std::int64_t>(comm_.exchanges), -1});
+  }
+  publish_state("timed");
   auto& impl = *machine_.impl_;
-  if (impl.thread_clock) return {thread_now_us(), -1};
+  if (impl.thread_clock) {
+    in_timed_ = true;
+    return {thread_now_us(), -1};
+  }
   const int shard = rank_ % static_cast<int>(impl.timed_shards.size());
   impl.timed_shards[static_cast<std::size_t>(shard)].lock();
+  in_timed_ = true;
   return {now_us(), shard};
 }
 
 double Proc::timed_end(const TimedToken& tok) {
+  in_timed_ = false;
   if (tok.shard < 0) return thread_now_us() - tok.t0;
   const double dt = now_us() - tok.t0;
   machine_.impl_->timed_shards[static_cast<std::size_t>(tok.shard)].unlock();
@@ -298,9 +394,27 @@ double Proc::timed_end(const TimedToken& tok) {
 }
 
 void Proc::timed_abort(const TimedToken& tok) {
+  in_timed_ = false;
   if (tok.shard >= 0) {
     machine_.impl_->timed_shards[static_cast<std::size_t>(tok.shard)].unlock();
   }
+}
+
+void Proc::check_outside_timed(const char* what) const {
+  if (!in_timed_) return;
+  throw ConfigError(std::string(what) +
+                        " called inside a Proc::timed section (the contract forbids "
+                        "barrier/exchange/open_exchange/commit_exchange in timed f(); "
+                        "it would deadlock the sharded-timing fallback)",
+                    {rank_, static_cast<std::int64_t>(comm_.exchanges), -1});
+}
+
+void Proc::publish_state(const char* where) {
+  auto& vp = *vp_;
+  if (machine_.impl_->watchdog_s <= 0) return;  // one predicted branch when off
+  vp.st_where.store(where, std::memory_order_relaxed);
+  vp.st_exchanges.store(comm_.exchanges, std::memory_order_relaxed);
+  vp.st_clock.store(clock_us_, std::memory_order_relaxed);
 }
 
 void Proc::charge(Phase phase, double us) {
@@ -308,7 +422,12 @@ void Proc::charge(Phase phase, double us) {
   phases_.us[static_cast<int>(phase)] += us;
 }
 
-void Proc::barrier() { clock_us_ = machine_.impl_->barrier_sync(clock_us_); }
+void Proc::barrier() {
+  check_outside_timed("barrier");
+  publish_state("barrier");
+  clock_us_ = machine_.impl_->barrier_sync(clock_us_);
+  publish_state("running");
+}
 
 void Proc::trace_remap(int group_log2, trace::LayoutTag from, trace::LayoutTag to) {
   if (!machine_.impl_->trace_enabled) return;
@@ -319,8 +438,10 @@ void Proc::trace_remap(int group_log2, trace::LayoutTag from, trace::LayoutTag t
 }
 
 void Proc::record_trace_event(std::uint64_t elements, std::uint64_t messages,
-                              std::uint32_t peers, double charged_us) {
+                              std::uint32_t peers, double charged_us,
+                              std::uint8_t fault_mask) {
   trace::ExchangeEvent e;
+  e.fault_mask = fault_mask;
   // comm_ was already updated for this exchange; exchanges is 1-based.
   e.seq = static_cast<std::uint32_t>(comm_.exchanges - 1);
   if (trace_ann_.armed) {
@@ -345,10 +466,52 @@ void Proc::record_trace_event(std::uint64_t elements, std::uint64_t messages,
 void Proc::open_exchange(std::span<const std::uint64_t> send_peers,
                          std::span<const std::size_t> send_sizes,
                          std::span<const std::uint64_t> recv_peers) {
-  assert(send_peers.size() == send_sizes.size());
+  check_outside_timed("open_exchange");
   auto& impl = *machine_.impl_;
   auto& vp = *vp_;
-  assert(!vp.open && "open_exchange while an exchange is already open");
+
+  // ---- argument validation (always on) ------------------------------
+  // Every rejection happens BEFORE the drain barrier and before any
+  // shared state is touched: a malformed exchange poisons the run with
+  // a structured error instead of silently cross-wiring the mailbox.
+  const ErrorContext ctx{rank_, static_cast<std::int64_t>(comm_.exchanges), -1};
+  if (vp.open) {
+    throw ExchangeError("open_exchange while an exchange is already open", ctx);
+  }
+  if (send_peers.size() != send_sizes.size()) {
+    std::ostringstream os;
+    os << "open_exchange: send_peers/send_sizes length mismatch ("
+       << send_peers.size() << " vs " << send_sizes.size() << ")";
+    throw ExchangeError(os.str(), ctx);
+  }
+  // Duplicate detection: bit 0 marks a send peer, bit 1 a recv peer.
+  // peer_seen is a persistent per-VP buffer, so steady-state validation
+  // performs no heap allocation.
+  vp.peer_seen.assign(static_cast<std::size_t>(nprocs_), 0);
+  const auto check_peer = [&](std::uint64_t peer, std::size_t i, std::uint8_t mark,
+                              const char* list) {
+    if (peer >= static_cast<std::uint64_t>(nprocs_)) {
+      std::ostringstream os;
+      os << "open_exchange: " << list << '[' << i << "] = " << peer
+         << " out of range (nprocs " << nprocs_ << ")";
+      throw ExchangeError(os.str(), ctx, static_cast<std::int64_t>(peer),
+                          static_cast<std::int64_t>(i));
+    }
+    auto& seen = vp.peer_seen[static_cast<std::size_t>(peer)];
+    if (seen & mark) {
+      std::ostringstream os;
+      os << "open_exchange: duplicate " << list << " entry " << peer
+         << " (each peer may appear at most once per list; a self entry is "
+            "allowed but also only once)";
+      throw ExchangeError(os.str(), ctx, static_cast<std::int64_t>(peer),
+                          static_cast<std::int64_t>(i));
+    }
+    seen |= mark;
+  };
+  for (std::size_t i = 0; i < send_peers.size(); ++i) check_peer(send_peers[i], i, 1, "send_peers");
+  for (std::size_t i = 0; i < recv_peers.size(); ++i) check_peer(recv_peers[i], i, 2, "recv_peers");
+
+  publish_state("open_exchange");
 
   // Drain point: after this barrier every VP has finished reading the
   // views of the previous exchange, so arenas may be rewritten.  Host
@@ -367,7 +530,9 @@ void Proc::open_exchange(std::span<const std::uint64_t> send_peers,
     total += send_sizes[i];
     if (static_cast<int>(send_peers[i]) == rank_) vp.self_slot = i;
   }
-  vp.arena.resize(total);
+  // With faults armed, leave kMaxSizeDelta slack so a kOversize rule's
+  // inflated published size still reads inside this VP's allocation.
+  vp.arena.resize(total + (impl.faults ? fault::kMaxSizeDelta : 0));
 
   // Publish the cells now (sizes are known); receivers dereference them
   // only after the sync barrier in commit_exchange, by which time the
@@ -382,14 +547,46 @@ void Proc::open_exchange(std::span<const std::uint64_t> send_peers,
 
 std::span<std::uint32_t> Proc::send_slot(std::size_t i) {
   auto& vp = *vp_;
-  assert(vp.open && i < vp.slot_off.size());
+  const ErrorContext ctx{rank_, static_cast<std::int64_t>(comm_.exchanges), -1};
+  if (!vp.open) {
+    throw ExchangeError("send_slot outside an open exchange", ctx, -1,
+                        static_cast<std::int64_t>(i));
+  }
+  if (i >= vp.slot_off.size()) {
+    std::ostringstream os;
+    os << "send_slot index " << i << " out of range (exchange has "
+       << vp.slot_off.size() << " send slots)";
+    throw ExchangeError(os.str(), ctx, -1, static_cast<std::int64_t>(i));
+  }
   return {vp.arena.data() + vp.slot_off[i], vp.slot_len[i]};
 }
 
 void Proc::commit_exchange() {
+  check_outside_timed("commit_exchange");
   auto& impl = *machine_.impl_;
   auto& vp = *vp_;
-  assert(vp.open && "commit_exchange without open_exchange");
+  if (!vp.open) {
+    throw ExchangeError("commit_exchange without an open exchange",
+                        {rank_, static_cast<std::int64_t>(comm_.exchanges), -1});
+  }
+  publish_state("commit_exchange");
+
+  // Seal every transmitted slot: checksum + size as packed, BEFORE any
+  // fault can tamper with the payload or the published size.
+  if (impl.integrity) {
+    for (std::size_t i = 0; i < vp.send_peers.size(); ++i) {
+      const auto dst = static_cast<int>(vp.send_peers[i]);
+      if (dst == rank_) continue;
+      auto& c = impl.cell(dst, rank_);
+      c.declared = vp.slot_len[i];
+      c.checksum = fault::checksum(
+          {vp.arena.data() + vp.slot_off[i], vp.slot_len[i]});
+    }
+  }
+
+  // Injected faults land between the seal and the sync barrier — the
+  // point where real hardware corrupts payloads and lies about sizes.
+  const std::uint8_t fault_mask = impl.faults ? apply_commit_faults() : 0;
 
   // Clock-synchronizing barrier: all slots are filled and globally
   // visible afterwards.  Equivalent to the legacy double barrier (no
@@ -409,20 +606,30 @@ void Proc::commit_exchange() {
   }
 
   vp.recv_views.resize(vp.recv_peers.size());
+  if (impl.integrity) {
+    vp.recv_declared.resize(vp.recv_peers.size());
+    vp.recv_sum.resize(vp.recv_peers.size());
+  }
   for (std::size_t i = 0; i < vp.recv_peers.size(); ++i) {
     const auto src = static_cast<int>(vp.recv_peers[i]);
     if (src == rank_) {
       // Kept portion: the VP's own staged slot (empty if none staged).
+      // Never transmitted, so it carries no integrity seal.
       if (vp.self_slot != static_cast<std::size_t>(-1)) {
         vp.recv_views[i] = {vp.arena.data() + vp.slot_off[vp.self_slot],
                             vp.slot_len[vp.self_slot]};
       } else {
         vp.recv_views[i] = {};
       }
+      if (impl.integrity) vp.recv_declared[i] = kUnsealed;
       continue;
     }
     auto& c = impl.cell(rank_, src);
     vp.recv_views[i] = {c.data, c.size};
+    if (impl.integrity) {
+      vp.recv_declared[i] = c.declared;
+      vp.recv_sum[i] = c.checksum;
+    }
     c = {};  // a peer that never deposits again reads back empty
   }
 
@@ -444,17 +651,140 @@ void Proc::commit_exchange() {
   comm_.elements_sent += elements;
   comm_.messages_sent += messages;
   if (impl.trace_enabled) {
-    record_trace_event(elements, messages, static_cast<std::uint32_t>(peers), t);
+    record_trace_event(elements, messages, static_cast<std::uint32_t>(peers), t,
+                       fault_mask);
   }
   vp.open = false;
+  publish_state("running");
 }
 
 std::span<const std::uint32_t> Proc::recv_view(std::size_t i) const {
-  assert(i < vp_->recv_views.size());
-  return vp_->recv_views[i];
+  const auto& vp = *vp_;
+  if (i >= vp.recv_views.size()) {
+    std::ostringstream os;
+    os << "recv_view index " << i << " out of range (exchange has "
+       << vp.recv_views.size() << " recv views)";
+    throw ExchangeError(os.str(),
+                        {rank_, static_cast<std::int64_t>(comm_.exchanges) - 1, -1},
+                        -1, static_cast<std::int64_t>(i));
+  }
+  const auto view = vp.recv_views[i];
+  if (machine_.impl_->integrity && i < vp.recv_declared.size() &&
+      vp.recv_declared[i] != kUnsealed) {
+    // The context names the exchange just committed (and, when tracing
+    // is on, its remap ordinal) so a mismatch is attributable to one
+    // schedule step.
+    const ErrorContext ctx{rank_, static_cast<std::int64_t>(comm_.exchanges) - 1,
+                           machine_.impl_->trace_enabled
+                               ? static_cast<std::int64_t>(trace_remaps_) - 1
+                               : -1};
+    const auto sender = static_cast<std::int64_t>(vp.recv_peers[i]);
+    if (view.size() != vp.recv_declared[i]) {
+      std::ostringstream os;
+      os << "exchange integrity: slot size mismatch — sender " << sender
+         << " sealed " << vp.recv_declared[i] << " elements, receiver " << rank_
+         << " got " << view.size();
+      throw IntegrityError(os.str(), ctx, sender, static_cast<std::int64_t>(i));
+    }
+    if (fault::checksum(view) != vp.recv_sum[i]) {
+      std::ostringstream os;
+      os << "exchange integrity: checksum mismatch — payload of " << view.size()
+         << " elements from sender " << sender << " to receiver " << rank_
+         << " was altered after packing";
+      throw IntegrityError(os.str(), ctx, sender, static_cast<std::int64_t>(i));
+    }
+  }
+  return view;
 }
 
 std::size_t Proc::recv_view_count() const { return vp_->recv_views.size(); }
+
+std::uint8_t Proc::apply_commit_faults() {
+  auto& impl = *machine_.impl_;
+  auto& af = *impl.faults;
+  auto& vp = *vp_;
+  std::uint8_t mask = 0;
+
+  // First non-self slot satisfying `min_len`, or npos — the injection
+  // target for payload/size rules.
+  const auto pick_slot = [&](std::size_t min_len) {
+    for (std::size_t i = 0; i < vp.send_peers.size(); ++i) {
+      if (static_cast<int>(vp.send_peers[i]) == rank_) continue;
+      if (vp.slot_len[i] >= min_len) return i;
+    }
+    return static_cast<std::size_t>(-1);
+  };
+
+  for (std::size_t ri = 0; ri < af.plan.rules.size(); ++ri) {
+    const auto& rule = af.plan.rules[ri];
+    if (af.fired[ri] || rule.rank != rank_) continue;
+    // `comm_.exchanges` is the 0-based ordinal of the exchange being
+    // committed; a rule waits for the first ELIGIBLE exchange at or
+    // after its trigger ordinal.
+    if (comm_.exchanges < rule.exchange) continue;
+    const ErrorContext ctx{rank_, static_cast<std::int64_t>(comm_.exchanges), -1};
+
+    switch (rule.kind) {
+      case fault::FaultKind::kStraggler: {
+        af.fired[ri] = 1;
+        af.fires.fetch_add(1, std::memory_order_relaxed);
+        // Simulated skew on the victim's clock (charged as compute so
+        // transfer-time model validation stays exact)...
+        charge(Phase::kCompute, rule.delay_us);
+        // ...plus BOUNDED real stall, so peers actually park in the
+        // commit barrier and the watchdog has something to observe.
+        const double ms = std::clamp(rule.real_ms, 0.0, fault::kMaxRealStallMs);
+        if (ms > 0) {
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+        }
+        mask |= trace::kFaultStraggler;
+        break;
+      }
+      case fault::FaultKind::kCrash: {
+        af.fired[ri] = 1;
+        af.fires.fetch_add(1, std::memory_order_relaxed);
+        std::ostringstream os;
+        os << "injected fault: crash of vp " << rank_ << " at exchange "
+           << comm_.exchanges << " (rule " << ri << ", plan seed " << af.plan.seed
+           << ")";
+        throw ExchangeError(os.str(), ctx);
+      }
+      case fault::FaultKind::kCorrupt: {
+        const std::size_t slot = pick_slot(1);
+        if (slot == static_cast<std::size_t>(-1)) break;  // retry next exchange
+        af.fired[ri] = 1;
+        af.fires.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t word = (rule.bit / 32) % vp.slot_len[slot];
+        vp.arena[vp.slot_off[slot] + word] ^= (1u << (rule.bit % 32));
+        mask |= trace::kFaultCorrupt;
+        break;
+      }
+      case fault::FaultKind::kTruncate: {
+        const std::size_t slot = pick_slot(1);
+        if (slot == static_cast<std::size_t>(-1)) break;
+        af.fired[ri] = 1;
+        af.fires.fetch_add(1, std::memory_order_relaxed);
+        auto& c = impl.cell(static_cast<int>(vp.send_peers[slot]), rank_);
+        c.size = vp.slot_len[slot] - std::min(rule.delta, vp.slot_len[slot]);
+        mask |= trace::kFaultTruncate;
+        break;
+      }
+      case fault::FaultKind::kOversize: {
+        const std::size_t slot = pick_slot(0);
+        if (slot == static_cast<std::size_t>(-1)) break;
+        af.fired[ri] = 1;
+        af.fires.fetch_add(1, std::memory_order_relaxed);
+        auto& c = impl.cell(static_cast<int>(vp.send_peers[slot]), rank_);
+        // Stays inside the arena: open_exchange reserved kMaxSizeDelta
+        // slack while faults are armed.
+        c.size = vp.slot_len[slot] + std::min(rule.delta, fault::kMaxSizeDelta);
+        mask |= trace::kFaultOversize;
+        break;
+      }
+    }
+  }
+  return mask;
+}
 
 std::vector<std::vector<std::uint32_t>> Proc::exchange(
     std::span<const std::uint64_t> send_peers,
@@ -504,6 +834,21 @@ RunReport Machine::run(const std::function<void(Proc&)>& program) {
   if (impl_->trace_enabled) {
     for (auto& t : impl_->traces) t.clear();
   }
+  // Per-run hardening state: watchdog diagnosis and fault bookkeeping
+  // describe the most recent run only.  No workers are active here, so
+  // plain writes are safe.
+  impl_->timed_out = false;
+  impl_->timeout_states.clear();
+  if (impl_->faults) {
+    std::fill(impl_->faults->fired.begin(), impl_->faults->fired.end(),
+              std::uint8_t{0});
+    impl_->faults->fires.store(0, std::memory_order_relaxed);
+  }
+  for (auto& vp : impl_->vps) {
+    vp.st_where.store("running", std::memory_order_relaxed);
+    vp.st_exchanges.store(0, std::memory_order_relaxed);
+    vp.st_clock.store(0, std::memory_order_relaxed);
+  }
   std::vector<Proc> procs;
   procs.reserve(static_cast<std::size_t>(nprocs_));
   for (int r = 0; r < nprocs_; ++r) {
@@ -521,14 +866,59 @@ RunReport Machine::run(const std::function<void(Proc&)>& program) {
     ++impl_->run_id;
   }
   impl_->run_cv.notify_all();
+
+  // Barrier watchdog: a monitor thread that shares the completion
+  // condition.  If the run overruns the real-time deadline it captures
+  // every VP's published state (where it is, exchanges committed,
+  // simulated clock) and poisons the barriers so blocked VPs unwind;
+  // run() then reports the diagnosis as a BarrierTimeout.  A VP spinning
+  // forever in user code (never touching a barrier) cannot be unwound —
+  // the watchdog can only diagnose it; the test harness timeout is the
+  // backstop for that case.
+  std::thread watchdog;
+  if (impl_->watchdog_s > 0) {
+    watchdog = std::thread([this] {
+      std::unique_lock<std::mutex> lk(impl_->run_mu);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(impl_->watchdog_s));
+      if (impl_->done_cv.wait_until(lk, deadline,
+                                    [&] { return impl_->done == nprocs_; })) {
+        return;  // run completed within the deadline
+      }
+      // Deadline overrun decided while holding run_mu: the run is
+      // genuinely incomplete.  Diagnose first, then poison.
+      impl_->timeout_states.reserve(impl_->vps.size());
+      for (std::size_t r = 0; r < impl_->vps.size(); ++r) {
+        const auto& vp = impl_->vps[r];
+        BarrierTimeout::VpSnapshot s;
+        s.rank = static_cast<int>(r);
+        s.where = vp.st_where.load(std::memory_order_relaxed);
+        s.exchanges = vp.st_exchanges.load(std::memory_order_relaxed);
+        s.clock_us = vp.st_clock.load(std::memory_order_relaxed);
+        impl_->timeout_states.push_back(s);
+      }
+      impl_->timed_out = true;
+      lk.unlock();
+      impl_->poison();
+    });
+  }
+
   {
     std::unique_lock<std::mutex> lk(impl_->run_mu);
     impl_->done_cv.wait(lk, [&] { return impl_->done == nprocs_; });
   }
+  if (watchdog.joinable()) watchdog.join();
 
   // Leave the machine reusable whether or not the run failed.
   impl_->reset_barriers();
   for (auto& vp : impl_->vps) vp.open = false;
+  // A watchdog timeout outranks individual VP errors: the diagnosis
+  // covers the whole machine, and unwound VPs carry no error anyway.
+  if (impl_->timed_out) {
+    throw BarrierTimeout(impl_->watchdog_s, std::move(impl_->timeout_states));
+  }
   for (auto& e : impl_->errors) {
     if (e) std::rethrow_exception(e);
   }

@@ -52,6 +52,21 @@
 // called Proc::trace_remap() first.  The trace/ subsystem exports the
 // rings as JSONL, validates them against the Section 3.4 closed forms,
 // and fits (L, o, g, G) back out of them; see src/trace/.
+//
+// Hardening (src/fault/)
+// ----------------------
+// Malformed protocol use fails loudly with structured bsort::Error
+// subtypes instead of UB: open_exchange validates its peer/size lists
+// (ExchangeError), barrier/exchange calls inside Proc::timed throw
+// ConfigError instead of deadlocking, and three opt-in defenses catch
+// runtime faults: enable_integrity() seals every transmitted slot with
+// a checksum at commit_exchange and verifies it at recv_view
+// (IntegrityError on mismatch, one predicted branch when off);
+// set_watchdog(seconds) arms a real-time monitor that poisons a stalled
+// barrier and fails the run with a BarrierTimeout carrying every VP's
+// last published state; arm_faults(plan) injects deterministic seeded
+// faults (stragglers, crashes, payload corruption, size lies) so tests
+// can prove the defenses work — see fault/plan.hpp.
 #pragma once
 
 #include <cstddef>
@@ -62,6 +77,10 @@
 
 #include "loggp/params.hpp"
 #include "trace/events.hpp"
+
+namespace bsort::fault {
+struct FaultPlan;
+}  // namespace bsort::fault
 
 namespace bsort::simd {
 
@@ -126,7 +145,8 @@ class Proc {
   /// a sharded timing lock when that clock is too coarse — see the
   /// "Timing calibration" note at the top of this header.  f() must not
   /// call barrier()/exchange()/open_exchange()/commit_exchange() (local
-  /// phases never do).
+  /// phases never do); doing so throws ConfigError instead of
+  /// deadlocking the machine, as does nesting timed() itself.
   template <class F>
   void timed(Phase phase, F&& f) {
     const TimedToken tok = timed_begin();
@@ -171,7 +191,11 @@ class Proc {
   // arena while a peer may still be reading the previous views.
 
   /// Declare the communication pattern of one exchange.  `send_sizes[i]`
-  /// is the element count destined to `send_peers[i]`.
+  /// is the element count destined to `send_peers[i]`.  The lists are
+  /// validated (equal lengths, peers in [0, P), no duplicate send or
+  /// recv peers, at most one self entry falls out of that); a malformed
+  /// pattern throws ExchangeError with rank/exchange/peer context
+  /// instead of silently corrupting the mailbox.
   void open_exchange(std::span<const std::uint64_t> send_peers,
                      std::span<const std::size_t> send_sizes,
                      std::span<const std::uint64_t> recv_peers);
@@ -185,6 +209,10 @@ class Proc {
 
   /// Payload received from recv_peers[i] (valid after commit_exchange,
   /// until the next collective exchange or barrier-separated write).
+  /// When integrity checking is enabled the view is verified against
+  /// the checksum and size the sender sealed at commit_exchange;
+  /// a mismatch throws IntegrityError naming sender, receiver, slot
+  /// and exchange/remap ordinal.
   [[nodiscard]] std::span<const std::uint32_t> recv_view(std::size_t i) const;
   [[nodiscard]] std::size_t recv_view_count() const;
 
@@ -231,7 +259,18 @@ class Proc {
     bool armed = false;
   };
   void record_trace_event(std::uint64_t elements, std::uint64_t messages,
-                          std::uint32_t peers, double charged_us);
+                          std::uint32_t peers, double charged_us,
+                          std::uint8_t fault_mask);
+
+  /// Throws ConfigError when called from inside a Proc::timed section
+  /// (the documented contract; violating it used to deadlock).
+  void check_outside_timed(const char* what) const;
+  /// Publish (where, exchanges, clock) for the barrier watchdog; no-op
+  /// (one predicted branch) when no watchdog is armed.
+  void publish_state(const char* where);
+  /// Apply armed FaultPlan rules due at this commit; returns the
+  /// trace::ExchangeEvent fault mask (may throw an injected crash).
+  std::uint8_t apply_commit_faults();
 
   friend class Machine;
   Proc(Machine& m, int rank, int nprocs) : machine_(m), rank_(rank), nprocs_(nprocs) {}
@@ -241,6 +280,7 @@ class Proc {
   int nprocs_;
   VpState* vp_ = nullptr;  ///< persistent per-rank buffers (owned by Machine)
   double clock_us_ = 0;
+  bool in_timed_ = false;  ///< a Proc::timed section is executing
   PhaseBreakdown phases_;
   CommStats comm_;
   TraceAnnotation trace_ann_;
@@ -287,6 +327,41 @@ class Machine {
   /// The (post-run) event ring of one VP; valid only while tracing is
   /// enabled.
   [[nodiscard]] const trace::VpTrace& vp_trace(int rank) const;
+
+  // ---- Hardening defenses (src/fault/) ------------------------------
+  //
+  // All three default to OFF and cost one predicted branch per exchange
+  // (integrity), per protocol step (watchdog state publishing), or
+  // nothing at all (faults) when disabled — the same audit discipline
+  // as tracing (bench_machine_overhead checks it).  Flip them only
+  // between runs.
+
+  /// Per-slot exchange integrity: commit_exchange seals every
+  /// transmitted slot with a checksum + declared size; recv_view
+  /// verifies and throws IntegrityError (sender, receiver, slot,
+  /// exchange/remap ordinal) on mismatch.
+  void enable_integrity();
+  void disable_integrity();
+  [[nodiscard]] bool integrity() const;
+
+  /// Barrier watchdog: a monitor thread fails the run with
+  /// BarrierTimeout when it does not finish within `seconds` of real
+  /// time, poisoning the barrier so blocked VPs unwind and capturing
+  /// every VP's last published state (rank, protocol step, exchange
+  /// ordinal, simulated clock) as the diagnosis.  0 disables.  The
+  /// watchdog unsticks VPs parked in (or eventually reaching) a
+  /// barrier; a VP spinning forever in user code can only be diagnosed,
+  /// not unwound — pair with a test-runner timeout for that.
+  void set_watchdog(double seconds);
+  [[nodiscard]] double watchdog_seconds() const;
+
+  /// Install (a copy of) a fault plan; every subsequent run() injects
+  /// its rules deterministically.  See fault/plan.hpp.
+  void arm_faults(const fault::FaultPlan& plan);
+  void disarm_faults();
+  [[nodiscard]] bool faults_armed() const;
+  /// Rules that actually fired during the most recent run().
+  [[nodiscard]] std::uint64_t faults_fired() const;
 
   /// Execute `program` on every VP (SPMD).  Blocks until all finish.
   /// If a VP throws, the barrier is poisoned so every other VP unwinds

@@ -41,6 +41,14 @@ enum class LayoutTag : std::int8_t {
 
 const char* layout_tag_name(LayoutTag t);
 
+/// Bits of ExchangeEvent::fault_mask: which injected faults (if any)
+/// landed on this VP during this exchange's commit (src/fault/).
+inline constexpr std::uint8_t kFaultStraggler = 1u << 0;
+inline constexpr std::uint8_t kFaultCrash = 1u << 1;
+inline constexpr std::uint8_t kFaultCorrupt = 1u << 2;
+inline constexpr std::uint8_t kFaultTruncate = 1u << 3;
+inline constexpr std::uint8_t kFaultOversize = 1u << 4;
+
 /// One exchange as seen by one VP.  POD; stored by value in the ring.
 struct ExchangeEvent {
   std::uint32_t seq = 0;      ///< exchange ordinal on this VP within the run
@@ -56,6 +64,7 @@ struct ExchangeEvent {
   double pack_us = 0;
   double unpack_us = 0;
   double clock_us = 0;  ///< VP simulated clock after the charge
+  std::uint8_t fault_mask = 0;  ///< kFault* bits of injected faults that landed
 };
 
 /// Fixed-capacity single-writer ring of ExchangeEvents.  Each VP owns

@@ -59,7 +59,8 @@ std::size_t write_jsonl(std::ostream& os, const simd::Machine& m, const TraceMet
          << ",\"elements\":" << e.elements << ",\"messages\":" << e.messages
          << ",\"charged_us\":" << e.charged_us << ",\"compute_us\":" << e.compute_us
          << ",\"pack_us\":" << e.pack_us << ",\"unpack_us\":" << e.unpack_us
-         << ",\"clock_us\":" << e.clock_us << "}\n";
+         << ",\"clock_us\":" << e.clock_us
+         << ",\"faults\":" << static_cast<int>(e.fault_mask) << "}\n";
       ++written;
     }
   }
