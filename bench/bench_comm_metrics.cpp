@@ -7,6 +7,11 @@
 // the trace/ model validator (the same check the test suite runs); the
 // per-exchange records are exported as TRACE_comm_metrics.jsonl
 // (override the path with argv[1]) next to the BENCH_*.json outputs.
+//
+// A second, span-profiled smart run (with one benign injected straggler
+// so a fault instant appears on the timeline) is exported as a
+// Chrome/Perfetto trace — TRACE_smart_perfetto.json, override with
+// argv[2] — ready to drop into https://ui.perfetto.dev.
 #include <algorithm>
 #include <fstream>
 #include <functional>
@@ -16,9 +21,12 @@
 
 #include "bench_common.hpp"
 #include "bitonic/sorts.hpp"
+#include "fault/plan.hpp"
 #include "loggp/choose.hpp"
 #include "loggp/cost.hpp"
 #include "loggp/params.hpp"
+#include "obs/perfetto.hpp"
+#include "simd/machine.hpp"
 #include "trace/jsonl.hpp"
 #include "trace/validate.hpp"
 #include "util/random.hpp"
@@ -113,6 +121,43 @@ int main(int argc, char** argv) {
   if (!bm.report.all_ok() || !cb.report.all_ok() || !sm.report.all_ok()) {
     std::cerr << "ERROR: measured communication deviates from the model\n";
     return 2;
+  }
+
+  // Dedicated span-profiled run for the Perfetto timeline artifact.
+  // Kept separate from the model-validation runs above so the injected
+  // straggler (which shows up as a fault instant + kStraggler span on
+  // the victim's track) cannot perturb the measured metrics.
+  {
+    const std::string perfetto_path = argc > 2 ? argv[2] : "TRACE_smart_perfetto.json";
+    simd::Machine m(P, loggp::meiko_cs2(), simd::MessageMode::kLong);
+    m.enable_profiling();
+    fault::FaultPlan plan;
+    fault::FaultRule straggle;
+    straggle.kind = fault::FaultKind::kStraggler;
+    straggle.rank = P / 2;
+    straggle.exchange = 1;
+    straggle.delay_us = 400.0;  // simulated skew only; no real stall
+    plan.rules.push_back(straggle);
+    m.arm_faults(plan);
+    auto keys = util::generate_keys(n * static_cast<std::size_t>(P),
+                                    util::KeyDistribution::kUniform31, 7);
+    m.run([&](simd::Proc& p) {
+      bitonic::smart_sort(p, std::span<std::uint32_t>(
+                                 keys.data() + static_cast<std::size_t>(p.rank()) * n, n));
+    });
+    if (!std::is_sorted(keys.begin(), keys.end())) {
+      std::cerr << "ERROR: unsorted output in profiled run\n";
+      return 3;
+    }
+    std::ofstream f(perfetto_path);
+    obs::PerfettoMeta meta;
+    meta.process_name = "bsort smart P=" + std::to_string(P);
+    obs::write_perfetto(f, m, meta);
+    if (!f) {
+      std::cerr << "ERROR: cannot write " << perfetto_path << "\n";
+      return 3;
+    }
+    std::cout << "perfetto: " << perfetto_path << "\n";
   }
   return 0;
 }

@@ -2,16 +2,21 @@
 // bitonic sort across machine sizes, plus a steady-state allocation
 // audit of the pooled exchange path (a warmed-up remap must perform
 // ZERO heap allocations — arenas, workspaces and worker threads are all
-// recycled).  Emits JSON on stdout for machine consumption.
+// recycled).  The same audit covers the tracing, span-profiling and
+// hardening layers when armed.  Emits JSON on stdout for machine
+// consumption; with an output path argument it also writes a
+// bsort-bench-v1 report (BENCH_machine.json) for the CI gate.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "api/parallel_sort.hpp"
+#include "bench_report.hpp"
 #include "bitonic/remap_exec.hpp"
 #include "layout/bit_layout.hpp"
 #include "loggp/params.hpp"
@@ -47,9 +52,10 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bsort;
 
+  bench::BenchReport report("machine");
   std::cout << "{\n  \"bench\": \"machine_overhead\",\n";
 
   // ---- wall vs simulated time across machine sizes ------------------
@@ -92,6 +98,10 @@ int main() {
               << ", \"wall_us_per_simulated_us\": " << (wall * 1e6 / makespan)
               << ", \"allocs_three_reps\": " << allocs << "}";
     first = false;
+    // Simulated makespan is deterministic for a fixed seed and machine
+    // model, but classified as a time so the CI gate compares it with
+    // tolerance rather than bit-exactly.
+    report.add_time("sweep/P" + std::to_string(P) + "/makespan_us", makespan);
   }
   std::cout << "\n  ],\n";
 
@@ -110,6 +120,7 @@ int main() {
         1e6 / reps;
     std::cout << "  \"dispatch\": {\"nprocs\": " << P
               << ", \"empty_run_us\": " << per_run_us << "},\n";
+    report.add_time("dispatch/empty_run_us", per_run_us);
   }
 
   // ---- steady-state allocation audit --------------------------------
@@ -161,6 +172,8 @@ int main() {
               << ", \"wall_seconds\": " << rep.wall_seconds << "},\n";
     std::cout << "  \"concurrent_timing\": " << (m.concurrent_timing() ? "true" : "false")
               << ",\n";
+    report.add_count("steady_state/heap_allocations",
+                     static_cast<double>(window_allocs.load()));
     if (window_allocs.load() != 0) {
       std::cerr << "WARNING: steady-state remap performed "
                 << window_allocs.load() << " heap allocations (expected 0)\n";
@@ -228,10 +241,91 @@ int main() {
               << ", \"wall_seconds_traced\": " << rep_on.wall_seconds
               << ", \"wall_ratio\": " << (rep_on.wall_seconds / rep_off.wall_seconds)
               << "},\n";
+    report.add_count("tracing/heap_allocations_traced", static_cast<double>(allocs_on));
+    report.add_count("tracing/events_recorded", static_cast<double>(events));
     if (allocs_on != 0) {
       std::cerr << "WARNING: traced steady-state remap performed " << allocs_on
                 << " heap allocations (expected 0)\n";
       return 3;
+    }
+  }
+
+  // ---- span-profiling overhead + profiled allocation audit ------------
+  // Same warmed-up remap loop with the span profiler and metrics armed:
+  // every remap opens a structural kRemap span, every timed section a
+  // leaf span, every barrier a kBarrierWait span, and every exchange
+  // feeds the byte/skew histograms.  The per-VP span rings and
+  // histograms are preallocated at enable_profiling(), so the profiled
+  // measured window must allocate exactly nothing; the wall ratio is
+  // the recording cost (disabled profiling is one predicted branch per
+  // span site).
+  {
+    const int P = 16;
+    const int log_p = 4;
+    const int log_n = 10;
+    const std::size_t n = std::size_t{1} << log_n;
+    const int kWarmup = 3;
+    const int kMeasured = 20;
+
+    simd::Machine m(P, loggp::meiko_cs2(), simd::MessageMode::kLong);
+    std::atomic<std::uint64_t> window_allocs{0};
+    const auto program = [&](simd::Proc& p) {
+      const auto blocked = layout::BitLayout::blocked(log_n, log_p);
+      const auto cyclic = layout::BitLayout::cyclic(log_n, log_p);
+      std::vector<std::uint32_t> a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<std::uint32_t>((i * 2654435761u) ^
+                                          static_cast<std::uint32_t>(p.rank()));
+      }
+      bitonic::RemapWorkspace ws_bc, ws_cb;
+      for (int r = 0; r < kWarmup; ++r) {
+        bitonic::remap_data_into(p, blocked, cyclic, a, b, ws_bc);
+        bitonic::remap_data_into(p, cyclic, blocked, b, a, ws_cb);
+      }
+      p.barrier();
+      std::uint64_t t0 = 0;
+      if (p.rank() == 0) t0 = g_allocs.load();
+      for (int r = 0; r < kMeasured; ++r) {
+        bitonic::remap_data_into(p, blocked, cyclic, a, b, ws_bc);
+        bitonic::remap_data_into(p, cyclic, blocked, b, a, ws_cb);
+      }
+      p.barrier();
+      if (p.rank() == 0) window_allocs.store(g_allocs.load() - t0);
+    };
+
+    const auto rep_off = m.run(program);  // profiling disabled
+    const std::uint64_t allocs_off = window_allocs.load();
+    m.enable_profiling(4096);
+    m.run(program);  // warm; rings are cleared again at the next run()
+    const auto rep_on = m.run(program);
+    const std::uint64_t allocs_on = window_allocs.load();
+    std::size_t spans = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t exchanges = 0;
+    for (int r = 0; r < P; ++r) {
+      spans += m.vp_spans(r).size();
+      dropped += m.vp_spans(r).dropped();
+      exchanges += m.vp_metrics(r).exchanges;
+    }
+
+    std::cout << "  \"profiling\": {\"nprocs\": " << P << ", \"keys_per_proc\": " << n
+              << ", \"spans_recorded\": " << spans << ", \"spans_dropped\": " << dropped
+              << ", \"exchanges_metered\": " << exchanges
+              << ", \"heap_allocations_unprofiled\": " << allocs_off
+              << ", \"heap_allocations_profiled\": " << allocs_on
+              << ", \"wall_seconds_unprofiled\": " << rep_off.wall_seconds
+              << ", \"wall_seconds_profiled\": " << rep_on.wall_seconds
+              << ", \"wall_ratio\": " << (rep_on.wall_seconds / rep_off.wall_seconds)
+              << "},\n";
+    report.add_count("profiling/heap_allocations_profiled",
+                     static_cast<double>(allocs_on));
+    report.add_count("profiling/spans_recorded", static_cast<double>(spans));
+    report.add_count("profiling/spans_dropped", static_cast<double>(dropped));
+    report.add_count("profiling/exchanges_metered", static_cast<double>(exchanges));
+    if (allocs_on != 0) {
+      std::cerr << "WARNING: profiled steady-state remap performed " << allocs_on
+                << " heap allocations (expected 0)\n";
+      return 5;
     }
   }
 
@@ -296,11 +390,14 @@ int main() {
               << ", \"wall_ratio_off\": " << (rep_off2.wall_seconds / rep_off.wall_seconds)
               << ", \"wall_ratio_armed\": " << (rep_on.wall_seconds / rep_off.wall_seconds)
               << "}\n}\n";
+    report.add_count("defenses/heap_allocations_armed",
+                     static_cast<double>(allocs_on));
     if (allocs_on != 0) {
       std::cerr << "WARNING: defenses-armed steady-state remap performed " << allocs_on
                 << " heap allocations (expected 0)\n";
       return 4;
     }
   }
+  if (argc > 1 && !report.write_file(argv[1])) return 1;
   return 0;
 }

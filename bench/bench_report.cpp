@@ -1,0 +1,45 @@
+#include "bench_report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "util/json.hpp"
+
+namespace bsort::bench {
+
+void BenchReport::write(std::ostream& os) const {
+  os << std::setprecision(15);
+  os << "{\"schema\":\"bsort-bench-v1\",\"name\":";
+  util::write_json_string(os, name);
+  os << ",\"metrics\":[";
+  bool first = true;
+  for (const Metric& m : metrics) {
+    os << (first ? "\n  " : ",\n  ");
+    first = false;
+    os << "{\"name\":";
+    util::write_json_string(os, m.name);
+    os << ",\"kind\":\"" << m.kind << "\",\"unit\":";
+    util::write_json_string(os, m.unit);
+    os << ",\"value\":" << m.value << "}";
+  }
+  os << "\n]}\n";
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "bench_report: cannot open " << path << " for writing\n";
+    return false;
+  }
+  write(f);
+  f.flush();
+  if (!f) {
+    std::cerr << "bench_report: write to " << path << " failed\n";
+    return false;
+  }
+  std::cout << "wrote " << path << " (" << metrics.size() << " metrics)\n";
+  return true;
+}
+
+}  // namespace bsort::bench

@@ -1,0 +1,57 @@
+// Machine-readable benchmark output with a stable schema, shared by
+// every harness that feeds the CI perf-regression gate.
+//
+// A harness builds one BenchReport, adds metrics under hierarchical
+// names ("smart/128K/total_us", "machine/barrier/us_per_barrier"), and
+// writes it as a BENCH_<name>.json file:
+//
+//   {"schema": "bsort-bench-v1",
+//    "name": "bitonic",
+//    "metrics": [
+//      {"name": "smart/16K/per_key_us", "kind": "time",  "unit": "us", "value": 0.61},
+//      {"name": "smart/16K/remaps",     "kind": "count", "unit": "",   "value": 7}]}
+//
+// `kind` tells the comparator (tools/bench_compare.py) how to diff a
+// metric against the committed baseline: "count" metrics are
+// deterministic (R/V/M counters, allocation counts) and must match
+// EXACTLY; "time" metrics are host-calibrated simulated or wall times
+// and compare within a relative tolerance.  Keep names stable — the
+// gate treats a metric that disappears as a failure.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bsort::bench {
+
+struct BenchReport {
+  explicit BenchReport(std::string name) : name(std::move(name)) {}
+
+  struct Metric {
+    std::string name;
+    const char* kind;  ///< "time" or "count"
+    std::string unit;
+    double value;
+  };
+
+  /// Tolerance-compared metric (times, ratios of times).
+  void add_time(const std::string& metric, double value,
+                const std::string& unit = "us") {
+    metrics.push_back({metric, "time", unit, value});
+  }
+
+  /// Exactly-compared metric (element/message/remap counters).
+  void add_count(const std::string& metric, double value) {
+    metrics.push_back({metric, "count", "", value});
+  }
+
+  void write(std::ostream& os) const;
+  /// Write to `path`; returns false (and prints to stderr) on I/O error.
+  bool write_file(const std::string& path) const;
+
+  std::string name;
+  std::vector<Metric> metrics;
+};
+
+}  // namespace bsort::bench

@@ -1,13 +1,20 @@
 // Reproduces Table 5.1 / Figure 5.2 (execution time per key) and
 // Table 5.2 / Figure 5.1 (total execution time) for the three bitonic
 // sort implementations on 32 simulated processors.
+//
+// With an output path argument (bench_table51 BENCH_bitonic.json) it
+// also emits the sweep as a bsort-bench-v1 report for the CI
+// perf-regression gate: per-key and total simulated times (tolerant
+// comparison) plus the R/V/M communication counters (exact).
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "bitonic/sorts.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bsort;
   const int P = 32;
   const double scale = bench::meiko_cpu_scale();
@@ -31,6 +38,17 @@ int main() {
                   "CB/Smart", "paper CB/Smart"});
   util::Table t2({"Keys/proc", "Blocked-Merge (s)", "Cyclic-Blocked (s)", "Smart (s)"});
 
+  bench::BenchReport report("bitonic");
+  const auto add_algo = [&](const char* algo, const std::string& size,
+                            const bench::SortResult& r, double dn) {
+    const std::string base = std::string(algo) + "/" + size + "/";
+    report.add_time(base + "per_key_us", r.total_us / dn);
+    report.add_time(base + "total_us", r.total_us);
+    report.add_count(base + "exchanges", static_cast<double>(r.comm.exchanges));
+    report.add_count(base + "elements_sent", static_cast<double>(r.comm.elements_sent));
+    report.add_count(base + "messages_sent", static_cast<double>(r.comm.messages_sent));
+  };
+
   const auto sweep = bench::keys_per_proc_sweep();
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const std::size_t n = sweep[i];
@@ -49,6 +67,9 @@ int main() {
       return 1;
     }
     const double dn = static_cast<double>(n);
+    add_algo("blocked-merge", bench::size_label(n), bm, dn);
+    add_algo("cyclic-blocked", bench::size_label(n), cb, dn);
+    add_algo("smart", bench::size_label(n), sm, dn);
     const auto cell = [&](double us, double paper) {
       return util::Table::fmt(us, 2) + " (" + util::Table::fmt(paper, 2) + ")";
     };
@@ -71,5 +92,6 @@ int main() {
   t2.print(std::cout);
   std::cout << "\nExpected shape: Smart < Cyclic-Blocked < Blocked-Merge at "
                "every size.\n";
+  if (argc > 1 && !report.write_file(argv[1])) return 1;
   return 0;
 }

@@ -138,6 +138,11 @@ Outcome run_sort_on(simd::Machine& machine, std::vector<std::uint32_t>& keys,
     machine.disable_integrity();
   }
   machine.set_watchdog(config.watchdog_seconds);
+  if (config.profile_spans > 0) {
+    machine.enable_profiling(config.profile_spans);
+  } else {
+    machine.disable_profiling();
+  }
   machine.disarm_faults();
   FaultGuard guard{machine};
   if (config.faults != nullptr) machine.arm_faults(*config.faults);

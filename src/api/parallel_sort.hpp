@@ -39,6 +39,13 @@ struct Config {
   Algorithm algorithm = Algorithm::kSmartBitonic;
   bitonic::SmartOptions smart;  ///< used by kSmartBitonic only
 
+  // ---- observability (src/obs/) -------------------------------------
+  /// Per-VP span ring capacity; 0 disables profiling.  When set, the
+  /// run records span timelines and metrics (Outcome.report.obs carries
+  /// the phase/metric table) and Machine::vp_spans() feeds the Perfetto
+  /// exporter — see obs/perfetto.hpp.
+  std::size_t profile_spans = 0;
+
   // ---- hardening knobs (src/fault/) ---------------------------------
   /// Real-time run deadline; 0 disables the barrier watchdog.  On
   /// expiry the run fails with BarrierTimeout carrying a per-VP

@@ -6,6 +6,7 @@
 #include "fault/error.hpp"
 #include "kernel/kernel.hpp"
 #include "localsort/radix_sort.hpp"
+#include "obs/profile.hpp"
 #include "util/bits.hpp"
 
 namespace bsort::bitonic {
@@ -21,16 +22,20 @@ void blocked_merge_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
 
   // First lg n stages: one local sort; the block's merge direction is the
   // parity of bit lg n of its absolute addresses, i.e. bit 0 of the rank.
-  p.timed(simd::Phase::kCompute, [&] {
-    if (util::bit(rank, 0) == 0) {
-      localsort::radix_sort(keys, scratch);
-    } else {
-      localsort::radix_sort_descending(keys, scratch);
-    }
-  });
+  {
+    obs::ScopedSpan span(p, obs::SpanKind::kLocalSort);
+    p.timed(simd::Phase::kCompute, [&] {
+      if (util::bit(rank, 0) == 0) {
+        localsort::radix_sort(keys, scratch);
+      } else {
+        localsort::radix_sort_descending(keys, scratch);
+      }
+    });
+  }
   if (log_p == 0) return;
 
   for (int k = 1; k <= log_p; ++k) {
+    obs::ScopedSpan stage_span(p, obs::SpanKind::kMergeStage, k);
     // Remote steps lg n + k .. lg n + 1: compare-exchange with the
     // partner differing in rank bit (step - 1 - lg n).
     for (int bit = k - 1; bit >= 0; --bit) {

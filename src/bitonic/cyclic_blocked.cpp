@@ -8,6 +8,7 @@
 #include "localsort/bitonic_merge.hpp"
 #include "localsort/compare_exchange.hpp"
 #include "localsort/radix_sort.hpp"
+#include "obs/profile.hpp"
 #include "util/bits.hpp"
 
 namespace bsort::bitonic {
@@ -25,13 +26,16 @@ void cyclic_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
   std::vector<std::uint32_t> scratch;
 
   // First lg n stages: one local sort in the block's merge direction.
-  p.timed(simd::Phase::kCompute, [&] {
-    if (util::bit(rank, 0) == 0) {
-      localsort::radix_sort(keys, scratch);
-    } else {
-      localsort::radix_sort_descending(keys, scratch);
-    }
-  });
+  {
+    obs::ScopedSpan span(p, obs::SpanKind::kLocalSort);
+    p.timed(simd::Phase::kCompute, [&] {
+      if (util::bit(rank, 0) == 0) {
+        localsort::radix_sort(keys, scratch);
+      } else {
+        localsort::radix_sort_descending(keys, scratch);
+      }
+    });
+  }
   if (log_p == 0) return;
 
   const auto blocked = layout::BitLayout::blocked(log_n, log_p);
@@ -53,6 +57,7 @@ void cyclic_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
 
   for (int k = 1; k <= log_p; ++k) {
     const int stage = log_n + k;
+    obs::ScopedSpan stage_span(p, obs::SpanKind::kMergeStage, stage);
     // Remap to cyclic; the stage's first k steps (steps lg n + k .. lg n
     // + 1) compare absolute bits lg n + k - 1 .. lg n, local under the
     // cyclic layout since lg n >= lg P.  They form the top of the

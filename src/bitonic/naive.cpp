@@ -5,6 +5,7 @@
 #include "bitonic/sorts.hpp"
 #include "kernel/kernel.hpp"
 #include "localsort/compare_exchange.hpp"
+#include "obs/profile.hpp"
 #include "util/bits.hpp"
 
 namespace bsort::bitonic {
@@ -17,6 +18,7 @@ void naive_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
   const auto blocked = layout::BitLayout::blocked(log_n, log_p);
 
   for (int stage = 1; stage <= log_N; ++stage) {
+    obs::ScopedSpan stage_span(p, obs::SpanKind::kMergeStage, stage);
     for (int step = stage; step >= 1; --step) {
       const int abs_bit = step - 1;
       if (abs_bit < log_n) {

@@ -7,6 +7,7 @@
 
 #include "fault/error.hpp"
 #include "kernel/kernel.hpp"
+#include "obs/profile.hpp"
 
 namespace bsort::bitonic {
 
@@ -97,6 +98,11 @@ void remap_data_into(simd::Proc& p, const layout::BitLayout& from,
                       {p.rank(), -1, -1});
   }
   const auto rank = static_cast<std::uint64_t>(p.rank());
+
+  // Structural span covering the whole remap (plan + pack + exchange +
+  // unpack); the arg is the exchange ordinal this remap will commit as.
+  obs::ScopedSpan remap_span(p, obs::SpanKind::kRemap,
+                             static_cast<std::int32_t>(p.comm().exchanges));
 
   // Plan construction (cached across repeats of the same layout pair).
   p.timed(simd::Phase::kPack, [&] { prepare_workspace(ws, from, to, rank); });

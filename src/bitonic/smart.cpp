@@ -10,6 +10,7 @@
 #include "localsort/compare_exchange.hpp"
 #include "localsort/pway_merge.hpp"
 #include "localsort/radix_sort.hpp"
+#include "obs/profile.hpp"
 #include "util/bits.hpp"
 
 namespace bsort::bitonic {
@@ -45,6 +46,8 @@ void fused_inside_window(simd::Proc& p, std::span<const std::uint32_t> in,
                          const BitLayout& to, int stage, SrcAsc&& src_ascending,
                          RemapWorkspace& ws, std::vector<localsort::Run>& runs) {
   const auto rank = static_cast<std::uint64_t>(p.rank());
+  obs::ScopedSpan remap_span(p, obs::SpanKind::kRemap,
+                             static_cast<std::int32_t>(p.comm().exchanges));
 
   // A rank need not appear among its own peers: some remaps along a
   // schedule are asymmetric (a rank's send group and receive group are
@@ -113,13 +116,16 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
 
   // First lg n stages: one local sort (Section 4.1); direction is bit 0
   // of the rank (= absolute bit lg n under the blocked layout).
-  p.timed(simd::Phase::kCompute, [&] {
-    if (util::bit(rank, 0) == 0) {
-      localsort::radix_sort(keys, scratch);
-    } else {
-      localsort::radix_sort_descending(keys, scratch);
-    }
-  });
+  {
+    obs::ScopedSpan span(p, obs::SpanKind::kLocalSort);
+    p.timed(simd::Phase::kCompute, [&] {
+      if (util::bit(rank, 0) == 0) {
+        localsort::radix_sort(keys, scratch);
+      } else {
+        localsort::radix_sort_descending(keys, scratch);
+      }
+    });
+  }
   if (log_p == 0) return;
 
   const auto sched =
@@ -174,14 +180,17 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
       // Theorem 2: the window's lg n steps are a complete bitonic merge
       // of the (bitonic) local array in the direction of stage lg n + k.
       remap_data_into(p, cur, phase.layout, a, b, remap_ws);
-      p.timed(simd::Phase::kCompute, [&] {
-        const bool asc = window_ascending(phase.layout, rank, log_n + sp.k);
-        if (asc) {
-          localsort::bitonic_merge_sort(b, a);
-        } else {
-          localsort::bitonic_merge_sort_descending(b, a);
-        }
-      });
+      {
+        obs::ScopedSpan span(p, obs::SpanKind::kMergeStage, log_n + sp.k);
+        p.timed(simd::Phase::kCompute, [&] {
+          const bool asc = window_ascending(phase.layout, rank, log_n + sp.k);
+          if (asc) {
+            localsort::bitonic_merge_sort(b, a);
+          } else {
+            localsort::bitonic_merge_sort_descending(b, a);
+          }
+        });
+      }
       cur = phase.layout;
       fully_sorted = true;
       update_src_dir(cur, log_n + sp.k);
@@ -189,6 +198,7 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
       // Final window: the remaining s steps complete the merge of each
       // 2^s block of the final (all-ascending) stage.
       remap_data_into(p, cur, phase.layout, a, b, remap_ws);
+      obs::ScopedSpan span(p, obs::SpanKind::kMergeStage, log_n + log_p);
       p.timed(simd::Phase::kCompute, [&] {
         const std::uint64_t chunk = std::uint64_t{1} << sp.s;
         if (chunk <= 4) {
@@ -215,6 +225,7 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
       // 2^a in the phase-1 arrangement — merged directly from there,
       // eliminating the intermediate shuffle.
       remap_data_into(p, cur, phase.layout, a, b, remap_ws);
+      obs::ScopedSpan span(p, obs::SpanKind::kMergeStage, log_n + sp.k);
       p.timed(simd::Phase::kCompute, [&] {
         const std::uint64_t chunk1 = std::uint64_t{1} << sp.a;
         const std::uint64_t half = std::uint64_t{1} << (sp.b - 1);
@@ -247,6 +258,7 @@ void smart_sort(simd::Proc& p, std::span<std::uint32_t> keys, const SmartOptions
       remap_data_into(p, cur, phase.layout, a, b, remap_ws);
       swap_buffers();
       const int st = stage, spp = step;
+      obs::ScopedSpan span(p, obs::SpanKind::kMergeStage, st);
       p.timed(simd::Phase::kCompute, [&] {
         localsort::local_network_steps(phase.layout, rank, a, st, spp, phase.steps);
       });

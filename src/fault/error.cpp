@@ -30,8 +30,16 @@ std::string timeout_message(double deadline_seconds,
   os << "barrier watchdog expired after " << deadline_seconds
      << "s; run poisoned.  VP states:";
   for (const auto& s : states) {
-    os << "\n  vp " << s.rank << ": " << s.where << ", " << s.exchanges
-       << " exchanges committed, clock " << s.clock_us << "us";
+    os << "\n  vp " << s.rank << ": " << s.where;
+    if (s.span != nullptr) {
+      os << ", in " << s.span;
+      if (s.span_arg >= 0) os << ' ' << s.span_arg;
+      if (s.leaf != nullptr) os << " / " << s.leaf;
+    } else if (s.leaf != nullptr) {
+      os << ", in " << s.leaf;
+    }
+    os << ", " << s.exchanges << " exchanges committed, clock " << s.clock_us
+       << "us";
   }
   return os.str();
 }

@@ -85,11 +85,19 @@ class BarrierTimeout : public Error {
   /// One VP's state at the moment the watchdog expired.  `where` is a
   /// static string naming the last protocol step the VP published
   /// ("barrier", "open_exchange", "commit_exchange", "timed", ...).
+  /// When the span profiler's stack is armed (it always is while a
+  /// watchdog runs), `span`/`span_arg` name the innermost open
+  /// structural span ("remap" 3, "merge" 5, ...) and `leaf` the leaf
+  /// phase inside it ("unpack", "barrier-wait", ...), so the message
+  /// reads "stuck in remap 3 / unpack".  Null when no span was open.
   struct VpSnapshot {
     int rank = -1;
     const char* where = "?";
     std::uint64_t exchanges = 0;  ///< exchanges committed so far
     double clock_us = 0;          ///< simulated clock when last published
+    const char* span = nullptr;   ///< innermost open structural span
+    std::int64_t span_arg = -1;   ///< its arg (remap ordinal / stage)
+    const char* leaf = nullptr;   ///< innermost open leaf span
   };
 
   BarrierTimeout(double deadline_seconds, std::vector<VpSnapshot> states);

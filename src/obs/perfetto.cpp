@@ -1,0 +1,84 @@
+#include "obs/perfetto.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <vector>
+
+#include "obs/spans.hpp"
+#include "simd/machine.hpp"
+#include "util/json.hpp"
+
+namespace bsort::obs {
+
+namespace {
+
+/// Category string for a slice: lets the Perfetto UI filter the
+/// Machine-emitted leaves apart from the sorts' structural spans.
+const char* span_category(SpanKind k) {
+  return span_kind_is_leaf(k) ? "leaf" : "structural";
+}
+
+void write_event_prefix(std::ostream& os, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  ";
+}
+
+}  // namespace
+
+void write_perfetto(std::ostream& os, const simd::Machine& machine,
+                    const PerfettoMeta& meta) {
+  // Timestamps are simulated microseconds; 15 significant digits keep
+  // sub-nanosecond resolution over any realistic run length.
+  os << std::setprecision(15);
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+
+  write_event_prefix(os, first);
+  os << R"({"name":"process_name","ph":"M","pid":0,"args":{"name":)";
+  util::write_json_string(os, meta.process_name);
+  os << "}}";
+
+  std::vector<SpanRecord> recs;
+  for (int r = 0; r < machine.nprocs(); ++r) {
+    write_event_prefix(os, first);
+    os << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << r
+       << R"(,"args":{"name":"vp )" << r << "\"}}";
+
+    const VpSpans& ring = machine.vp_spans(r);
+    recs.assign(ring.size(), SpanRecord{});
+    for (std::size_t i = 0; i < ring.size(); ++i) recs[i] = ring[i];
+    // Rings hold spans in END order; tracks must be in BEGIN order with
+    // enclosing spans first so viewers reconstruct the nesting.
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const SpanRecord& a, const SpanRecord& b) {
+                       if (a.sim_begin_us != b.sim_begin_us) {
+                         return a.sim_begin_us < b.sim_begin_us;
+                       }
+                       return a.sim_us() > b.sim_us();
+                     });
+
+    for (const SpanRecord& rec : recs) {
+      write_event_prefix(os, first);
+      if (rec.kind == SpanKind::kFault) {
+        os << R"({"name":"fault","cat":"fault","ph":"i","s":"t","ts":)"
+           << rec.sim_begin_us << R"(,"pid":0,"tid":)" << r
+           << R"(,"args":{"mask":)" << static_cast<int>(rec.fault_mask)
+           << R"(,"exchange":)" << rec.arg << "}}";
+        continue;
+      }
+      os << "{\"name\":";
+      util::write_json_string(os, span_kind_name(rec.kind));
+      os << ",\"cat\":\"" << span_category(rec.kind) << R"(","ph":"X","ts":)"
+         << rec.sim_begin_us << ",\"dur\":" << rec.sim_us()
+         << R"(,"pid":0,"tid":)" << r << R"(,"args":{"host_us":)"
+         << rec.host_us();
+      if (rec.arg >= 0) os << ",\"ordinal\":" << rec.arg;
+      os << "}}";
+    }
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+}  // namespace bsort::obs

@@ -1,0 +1,42 @@
+// Chrome trace-event exporter: dump a profiled Machine's span rings as
+// a JSON file that chrome://tracing and https://ui.perfetto.dev open
+// directly.
+//
+// Layout: one process (pid 0) whose name is the run label, one track
+// (tid = VP rank) per virtual processor.  Every closed span becomes a
+// complete ("X") event on the simulated-clock timeline — structural
+// spans (local-sort, merge, remap) stack above the leaf slices
+// (compute, pack, exchange, unpack, barrier-wait, straggler) exactly as
+// they nested during the run — and every kFault record becomes a
+// thread-scoped instant ("i") event marking where an injected fault
+// landed.  Span args ride along (remap ordinal / stage number, host
+// thread-CPU duration), so a slice click shows how much host time the
+// simulated slice actually cost.
+//
+// Events are emitted per track in begin-timestamp order with enclosing
+// spans first (ties broken by descending duration), which the
+// round-trip test checks; all text goes through util::json_escape, so a
+// hostile label cannot break the file.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+namespace bsort::simd {
+class Machine;
+}  // namespace bsort::simd
+
+namespace bsort::obs {
+
+/// Run-level annotations for the exported trace.
+struct PerfettoMeta {
+  std::string process_name = "bsort";  ///< shown as the process label
+};
+
+/// Write the most recent run's spans of every VP as one trace-event
+/// JSON document.  The machine must have profiling enabled (the rings
+/// must exist); an empty ring simply yields a track with no slices.
+void write_perfetto(std::ostream& os, const simd::Machine& machine,
+                    const PerfettoMeta& meta = {});
+
+}  // namespace bsort::obs

@@ -1,0 +1,49 @@
+// RAII structural spans for the sorts: open a named span on the current
+// VP's timeline for the lifetime of a scope.
+//
+//   void smart_sort(simd::Proc& p, ...) {
+//     {
+//       obs::ScopedSpan s(p, obs::SpanKind::kLocalSort);
+//       p.timed(Phase::kCompute, [&] { std::sort(...); });
+//     }
+//     for (int r = 0; ...; ++r) {
+//       obs::ScopedSpan s(p, obs::SpanKind::kRemap, r);
+//       ... pack / exchange / unpack ...
+//     }
+//   }
+//
+// A ScopedSpan costs one predicted branch when profiling is off, so the
+// sorts carry their instrumentation unconditionally.  Spans must
+// strictly nest (scopes do that by construction); the leaf spans inside
+// (timed sections, exchanges, barrier waits) are emitted by the Machine
+// itself — see obs/spans.hpp for the two-layer model.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/spans.hpp"
+#include "simd/machine.hpp"
+
+namespace bsort::obs {
+
+class ScopedSpan {
+ public:
+  ScopedSpan(simd::Proc& p, SpanKind kind, std::int32_t arg = -1)
+      : proc_(p), token_(p.span_begin(kind, arg)) {}
+  ~ScopedSpan() { proc_.span_end(token_); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Close early (idempotent; the destructor then no-ops).
+  void end() {
+    proc_.span_end(token_);
+    token_ = -1;
+  }
+
+ private:
+  simd::Proc& proc_;
+  int token_;
+};
+
+}  // namespace bsort::obs

@@ -1,0 +1,24 @@
+#include "obs/spans.hpp"
+
+namespace bsort::obs {
+
+const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kCompute: return "compute";
+    case SpanKind::kPack: return "pack";
+    case SpanKind::kExchange: return "exchange";
+    case SpanKind::kUnpack: return "unpack";
+    case SpanKind::kBarrierWait: return "barrier-wait";
+    case SpanKind::kStraggler: return "straggler";
+    case SpanKind::kLocalSort: return "local-sort";
+    case SpanKind::kMergeStage: return "merge";
+    case SpanKind::kRemap: return "remap";
+    case SpanKind::kStage: return "stage";
+    case SpanKind::kSample: return "sample";
+    case SpanKind::kTranspose: return "transpose";
+    case SpanKind::kFault: return "fault";
+  }
+  return "?";
+}
+
+}  // namespace bsort::obs

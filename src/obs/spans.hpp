@@ -1,0 +1,144 @@
+// Span timeline model: what one VP records about where its time went.
+//
+// The thesis' whole argument is a time breakdown — local sort vs. merge
+// steps vs. remap communication (Tables 5.1-5.4) — so the simulator
+// carries a span profiler with the same slicing: RAII scoped spans
+// recorded on BOTH clock domains (the VP's simulated clock and the host
+// thread-CPU clock), appended to a per-VP preallocated ring.
+//
+// Two layers of spans cover a run:
+//
+//   * LEAF spans are emitted by the Machine itself and tile the
+//     simulated clock exactly: every Proc::timed section (compute /
+//     pack / unpack), every transfer charge of commit_exchange
+//     ("exchange"), every clock jump of a barrier ("barrier-wait") and
+//     every injected straggler delay.  Leaf spans never nest inside one
+//     another, so for any VP the sum of its leaf-span simulated
+//     durations equals its final clock (tested in test_obs.cpp).
+//   * STRUCTURAL spans are opened by the sorts through obs::ScopedSpan
+//     (local sort, merge stage k, remap r, ...) and enclose leaf spans,
+//     giving the timeline its named hierarchy; the span arg carries the
+//     remap ordinal / stage number.
+//
+// Constraints (enforced by bench_machine_overhead's audit):
+//   * disabled profiling costs one predicted branch per span site;
+//   * enabled profiling performs zero steady-state heap allocations:
+//     the ring is sized once at Machine::enable_profiling() and
+//     overwrites its oldest records on overflow (dropped() reports how
+//     many).
+//
+// This header is dependency-free so simd/machine.hpp can include it;
+// the RAII helper (obs/profile.hpp), the metric aggregation
+// (obs/metrics.hpp) and the Perfetto exporter (obs/perfetto.hpp) layer
+// on top.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bsort::obs {
+
+enum class SpanKind : std::uint8_t {
+  // ---- leaf spans (Machine-emitted; tile the simulated clock) -------
+  kCompute = 0,      ///< Proc::timed(Phase::kCompute) section
+  kPack = 1,         ///< Proc::timed(Phase::kPack) section
+  kExchange = 2,     ///< LogP/LogGP transfer charge of commit_exchange
+  kUnpack = 3,       ///< Proc::timed(Phase::kUnpack) section
+  kBarrierWait = 4,  ///< clock jump absorbed at a barrier (BSP skew)
+  kStraggler = 5,    ///< injected straggler delay (src/fault/)
+
+  // ---- structural spans (sort-emitted via obs::ScopedSpan) ----------
+  kLocalSort = 6,   ///< the initial full local sort
+  kMergeStage = 7,  ///< one merge stage / window (arg: stage or k)
+  kRemap = 8,       ///< one data remap end to end (arg: exchange ordinal)
+  kStage = 9,       ///< one pass of a non-bitonic sort (arg: pass)
+  kSample = 10,     ///< sample-sort splitter selection
+  kTranspose = 11,  ///< column-sort transpose / shift step
+
+  // ---- instants (zero duration) -------------------------------------
+  kFault = 12,  ///< injected fault landed (mask in SpanRecord::fault_mask)
+};
+inline constexpr int kSpanKindCount = 13;
+
+/// Stable display name ("pack", "barrier-wait", ...).
+const char* span_kind_name(SpanKind k);
+
+/// True for the Machine-emitted kinds that tile the simulated clock.
+constexpr bool span_kind_is_leaf(SpanKind k) {
+  return static_cast<std::uint8_t>(k) <= static_cast<std::uint8_t>(SpanKind::kStraggler);
+}
+
+/// One closed span (or instant) as recorded by one VP.  POD; stored by
+/// value in the ring.  Simulated times come from the VP's clock;
+/// host times from CLOCK_THREAD_CPUTIME_ID (so a span's host cost is
+/// immune to oversubscription, like Proc::timed measurements).
+struct SpanRecord {
+  double sim_begin_us = 0;
+  double sim_end_us = 0;
+  double host_begin_us = 0;  ///< thread-CPU clock (0 when unavailable)
+  double host_end_us = 0;
+  std::int32_t arg = -1;  ///< remap ordinal / stage number / -1
+  SpanKind kind = SpanKind::kCompute;
+  std::uint8_t depth = 0;       ///< nesting depth at begin (0 = top level)
+  std::uint8_t fault_mask = 0;  ///< trace::kFault* bits (kFault instants)
+
+  [[nodiscard]] double sim_us() const { return sim_end_us - sim_begin_us; }
+  [[nodiscard]] double host_us() const { return host_end_us - host_begin_us; }
+};
+
+/// Fixed-capacity single-writer ring of SpanRecords.  Each VP owns one;
+/// only that VP's worker thread writes it, and readers look only after
+/// Machine::run() returned, so no synchronization is needed.  (Same
+/// discipline as trace::VpTrace.)
+class VpSpans {
+ public:
+  /// (Re)allocate to `capacity` records and drop any recorded ones.
+  void reset(std::size_t capacity) {
+    buf_.assign(capacity, SpanRecord{});
+    clear();
+  }
+
+  /// Drop recorded records; keeps the allocation.
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Append one record, overwriting the oldest when full.  Never
+  /// allocates.
+  void push(const SpanRecord& r) {
+    if (buf_.empty()) {
+      ++dropped_;
+      return;
+    }
+    buf_[head_] = r;
+    head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+    if (count_ < buf_.size()) {
+      ++count_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  /// Records overwritten (or discarded on a zero-capacity ring).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// i-th retained record, oldest first (i.e. span END order).
+  [[nodiscard]] const SpanRecord& operator[](std::size_t i) const {
+    const std::size_t oldest = count_ < buf_.size() ? 0 : head_;
+    const std::size_t at = oldest + i;
+    return buf_[at < buf_.size() ? at : at - buf_.size()];
+  }
+
+ private:
+  std::vector<SpanRecord> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace bsort::obs

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "localsort/radix_sort.hpp"
+#include "obs/profile.hpp"
 
 namespace bsort::psort {
 
@@ -107,21 +108,30 @@ void column_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
   const std::uint64_t r = keys.size();
   assert(column_sort_shape_ok(r, s) && "column sort needs r >= 2 (s-1)^2");
   std::vector<std::uint32_t> scratch;
-  const auto sort_local = [&](std::span<std::uint32_t> v) {
+  // Each of the eight steps is one structural span: local sorts carry
+  // the step number as the arg, the communication steps are kTranspose.
+  const auto sort_local = [&](std::span<std::uint32_t> v, std::int32_t step) {
+    obs::ScopedSpan span(p, obs::SpanKind::kLocalSort, step);
     p.timed(simd::Phase::kCompute, [&] { localsort::radix_sort(v, scratch); });
   };
 
   if (s == 1) {
-    sort_local(keys);
+    sort_local(keys, 1);
     return;
   }
   const std::uint64_t half = r / 2;
 
-  sort_local(keys);      // step 1
-  transpose(p, keys);    // step 2
-  sort_local(keys);      // step 3
-  untranspose(p, keys);  // step 4
-  sort_local(keys);      // step 5
+  sort_local(keys, 1);  // step 1
+  {
+    obs::ScopedSpan span(p, obs::SpanKind::kTranspose, 2);
+    transpose(p, keys);  // step 2
+  }
+  sort_local(keys, 3);  // step 3
+  {
+    obs::ScopedSpan span(p, obs::SpanKind::kTranspose, 4);
+    untranspose(p, keys);  // step 4
+  }
+  sort_local(keys, 5);  // step 5
 
   // Steps 6-8: shift columns down by half a column (the conceptual extra
   // column is padded with -inf at the global front and +inf at the global
@@ -131,6 +141,7 @@ void column_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
   std::vector<std::uint32_t> shifted(r);
   std::vector<std::uint32_t> overflow;
   {
+    obs::ScopedSpan span(p, obs::SpanKind::kTranspose, 6);
     std::vector<std::uint32_t> bottom;
     p.timed(simd::Phase::kPack, [&] {
       bottom.assign(keys.begin() + static_cast<std::ptrdiff_t>(half), keys.end());
@@ -167,11 +178,12 @@ void column_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
   // Step 7: sort the shifted columns.  Processor 0's top half is the
   // -inf pad, so only its real bottom half is sorted (in place).
   if (j == 0) {
-    sort_local(std::span<std::uint32_t>(shifted.data() + half, r - half));
+    sort_local(std::span<std::uint32_t>(shifted.data() + half, r - half), 7);
   } else {
-    sort_local(std::span<std::uint32_t>(shifted.data(), r));
+    sort_local(std::span<std::uint32_t>(shifted.data(), r), 7);
   }
   if (!overflow.empty()) {
+    obs::ScopedSpan span(p, obs::SpanKind::kLocalSort, 7);
     p.timed(simd::Phase::kCompute,
             [&] { localsort::radix_sort(overflow, scratch); });
   }
@@ -180,6 +192,7 @@ void column_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
   // neighbor's bottom; the overflow column returns to the last
   // processor's bottom.
   {
+    obs::ScopedSpan span(p, obs::SpanKind::kTranspose, 8);
     std::vector<std::uint32_t> top;
     p.timed(simd::Phase::kPack, [&] {
       top.assign(shifted.begin(), shifted.begin() + static_cast<std::ptrdiff_t>(half));

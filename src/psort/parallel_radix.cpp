@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "psort/psort.hpp"
 #include "util/bits.hpp"
 
@@ -56,6 +57,7 @@ void parallel_radix_sort(simd::Proc& p, std::vector<std::uint32_t>& keys) {
   std::vector<std::size_t> cursor(P, 0);
 
   for (int pass = 0; pass < kPasses; ++pass) {
+    obs::ScopedSpan pass_span(p, obs::SpanKind::kStage, pass);
     const int shift = pass * kDigitBits;
     // Local histogram + stable local partition by digit.
     std::array<std::uint32_t, kBuckets> count{};

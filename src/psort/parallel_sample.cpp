@@ -5,6 +5,7 @@
 
 #include "localsort/pway_merge.hpp"
 #include "localsort/radix_sort.hpp"
+#include "obs/profile.hpp"
 #include "psort/psort.hpp"
 #include "util/bits.hpp"
 
@@ -17,9 +18,12 @@ void parallel_sample_sort(simd::Proc& p, std::vector<std::uint32_t>& keys, int o
 
   // Phase 1: local sort.
   std::vector<std::uint32_t> scratch;
-  p.timed(simd::Phase::kCompute, [&] {
-    localsort::radix_sort(std::span<std::uint32_t>(keys.data(), keys.size()), scratch);
-  });
+  {
+    obs::ScopedSpan span(p, obs::SpanKind::kLocalSort);
+    p.timed(simd::Phase::kCompute, [&] {
+      localsort::radix_sort(std::span<std::uint32_t>(keys.data(), keys.size()), scratch);
+    });
+  }
   if (P == 1) return;
 
   std::vector<std::uint64_t> all_peers(P);
@@ -30,6 +34,7 @@ void parallel_sample_sort(simd::Proc& p, std::vector<std::uint32_t>& keys, int o
   // the pooled arena: every slot (self included) carries the sample, and
   // the self copy comes back as recv_view(me) with no fix-up.
   const auto s = static_cast<std::uint64_t>(oversample);
+  obs::ScopedSpan sample_span(p, obs::SpanKind::kSample);
   std::vector<std::uint32_t> my_sample;
   p.timed(simd::Phase::kCompute, [&] {
     my_sample.reserve(s);
@@ -60,9 +65,13 @@ void parallel_sample_sort(simd::Proc& p, std::vector<std::uint32_t>& keys, int o
     }
   });
 
+  sample_span.end();
+
   // Phase 3: partition the sorted run by the splitters and exchange.
   // Partition boundaries are found first (sizes must be known before
   // open_exchange), then each segment is copied straight into its slot.
+  obs::ScopedSpan remap_span(p, obs::SpanKind::kRemap,
+                             static_cast<std::int32_t>(p.comm().exchanges));
   std::vector<std::size_t> part_begin(P + 1, 0);
   p.timed(simd::Phase::kPack, [&] {
     part_begin[P] = keys.size();
@@ -85,9 +94,11 @@ void parallel_sample_sort(simd::Proc& p, std::vector<std::uint32_t>& keys, int o
     }
   });
   p.commit_exchange();
+  remap_span.end();
 
   // Phase 4: p-way merge of the P sorted runs, read in place from the
   // pooled views (the self run is recv_view(me)).
+  obs::ScopedSpan merge_span(p, obs::SpanKind::kMergeStage);
   p.timed(simd::Phase::kCompute, [&] {
     std::size_t total = 0;
     for (std::uint64_t src = 0; src < P; ++src) total += p.recv_view(src).size();

@@ -105,6 +105,12 @@ struct VpState {
   std::atomic<const char*> st_where{"idle"};
   std::atomic<std::uint64_t> st_exchanges{0};
   std::atomic<double> st_clock{0};
+
+  /// Innermost open structural span (kind + arg) and leaf span, also for
+  /// the watchdog diagnosis ("stuck in remap 3 / unpack").  255 = none.
+  std::atomic<std::uint8_t> st_span_kind{255};
+  std::atomic<std::int32_t> st_span_arg{-1};
+  std::atomic<std::uint8_t> st_leaf_kind{255};
 };
 
 /// Clock-synchronizing sense barrier, a host-only drain barrier, the
@@ -162,6 +168,17 @@ struct Machine::Impl {
   // runs only.
   bool trace_enabled = false;
   std::vector<trace::VpTrace> traces;
+
+  // ---- span profiling & metrics (src/obs/) --------------------------
+  // Same single-writer discipline as the trace rings.  obs_armed is the
+  // per-run fast-path flag: the span stack is maintained whenever
+  // profiling OR a watchdog is on (the watchdog diagnosis reads it),
+  // but rings, host-clock reads and metrics cost nothing unless
+  // obs_enabled.
+  bool obs_enabled = false;
+  bool obs_armed = false;  ///< obs_enabled || watchdog_s > 0, set by run()
+  std::vector<obs::VpSpans> spans;
+  std::vector<obs::VpMetrics> metrics;
 
   // ---- hardening (src/fault/) ---------------------------------------
   bool integrity = false;             ///< per-slot checksum verification
@@ -325,6 +342,34 @@ const trace::VpTrace& Machine::vp_trace(int rank) const {
   return impl_->traces[static_cast<std::size_t>(rank)];
 }
 
+void Machine::enable_profiling(std::size_t spans_per_vp) {
+  impl_->spans.resize(static_cast<std::size_t>(nprocs_));
+  for (auto& s : impl_->spans) s.reset(spans_per_vp);
+  impl_->metrics.resize(static_cast<std::size_t>(nprocs_));
+  for (auto& m : impl_->metrics) m.clear();
+  impl_->obs_enabled = true;
+}
+
+void Machine::disable_profiling() {
+  impl_->obs_enabled = false;
+  impl_->spans.clear();
+  impl_->spans.shrink_to_fit();
+  impl_->metrics.clear();
+  impl_->metrics.shrink_to_fit();
+}
+
+bool Machine::profiling() const { return impl_->obs_enabled; }
+
+const obs::VpSpans& Machine::vp_spans(int rank) const {
+  assert(impl_->obs_enabled && rank >= 0 && rank < nprocs_);
+  return impl_->spans[static_cast<std::size_t>(rank)];
+}
+
+const obs::VpMetrics& Machine::vp_metrics(int rank) const {
+  assert(impl_->obs_enabled && rank >= 0 && rank < nprocs_);
+  return impl_->metrics[static_cast<std::size_t>(rank)];
+}
+
 void Machine::enable_integrity() { impl_->integrity = true; }
 void Machine::disable_integrity() { impl_->integrity = false; }
 bool Machine::integrity() const { return impl_->integrity; }
@@ -422,10 +467,109 @@ void Proc::charge(Phase phase, double us) {
   phases_.us[static_cast<int>(phase)] += us;
 }
 
+void Proc::publish_span_state() {
+  if (machine_.impl_->watchdog_s <= 0) return;
+  // Innermost leaf sits above the innermost structural span, so one
+  // walk from the top of the stack finds both.
+  std::uint8_t leaf = 255;
+  std::uint8_t structural = 255;
+  std::int32_t arg = -1;
+  for (int i = span_depth_ - 1; i >= 0; --i) {
+    const OpenSpan& s = span_stack_[i];
+    if (obs::span_kind_is_leaf(s.kind)) {
+      if (leaf == 255) leaf = static_cast<std::uint8_t>(s.kind);
+    } else {
+      structural = static_cast<std::uint8_t>(s.kind);
+      arg = s.arg;
+      break;
+    }
+  }
+  auto& vp = *vp_;
+  vp.st_span_kind.store(structural, std::memory_order_relaxed);
+  vp.st_span_arg.store(arg, std::memory_order_relaxed);
+  vp.st_leaf_kind.store(leaf, std::memory_order_relaxed);
+}
+
+int Proc::span_begin(obs::SpanKind kind, std::int32_t arg) {
+  auto& impl = *machine_.impl_;
+  if (!impl.obs_armed) return -1;  // one predicted branch when off
+  if (span_depth_ >= kMaxSpanDepth) return -1;  // drop; nesting this deep is a bug
+  OpenSpan& s = span_stack_[span_depth_];
+  s.kind = kind;
+  s.arg = arg;
+  s.sim0 = clock_us_;
+  s.host0 = impl.obs_enabled ? thread_now_us() : 0;
+  const int tok = span_depth_++;
+  publish_span_state();
+  return tok;
+}
+
+void Proc::span_end(int token) {
+  if (token < 0) return;
+  auto& impl = *machine_.impl_;
+  if (token >= span_depth_) return;  // stack already unwound past this span
+  const OpenSpan s = span_stack_[token];
+  span_depth_ = token;  // closes this span and anything left open inside it
+  if (impl.obs_enabled) {
+    obs::SpanRecord r;
+    r.sim_begin_us = s.sim0;
+    r.sim_end_us = clock_us_;
+    r.host_begin_us = s.host0;
+    r.host_end_us = thread_now_us();
+    r.arg = s.arg;
+    r.kind = s.kind;
+    r.depth = static_cast<std::uint8_t>(token);
+    impl.spans[static_cast<std::size_t>(rank_)].push(r);
+    auto& m = impl.metrics[static_cast<std::size_t>(rank_)];
+    const auto k = static_cast<std::size_t>(s.kind);
+    m.span_us[k] += r.sim_us();
+    m.span_count[k] += 1;
+  }
+  publish_span_state();
+}
+
+void Proc::span_instant(obs::SpanKind kind, std::int32_t arg,
+                        std::uint8_t fault_mask) {
+  auto& impl = *machine_.impl_;
+  if (!impl.obs_enabled) return;
+  obs::SpanRecord r;
+  const double host = thread_now_us();
+  r.sim_begin_us = clock_us_;
+  r.sim_end_us = clock_us_;
+  r.host_begin_us = host;
+  r.host_end_us = host;
+  r.arg = arg;
+  r.kind = kind;
+  r.depth = static_cast<std::uint8_t>(span_depth_);
+  r.fault_mask = fault_mask;
+  impl.spans[static_cast<std::size_t>(rank_)].push(r);
+  impl.metrics[static_cast<std::size_t>(rank_)]
+      .span_count[static_cast<std::size_t>(kind)] += 1;
+}
+
+int Proc::span_begin_phase(Phase phase) {
+  if (!machine_.impl_->obs_armed) return -1;
+  static constexpr obs::SpanKind kPhaseSpan[kPhaseCount] = {
+      obs::SpanKind::kCompute, obs::SpanKind::kPack, obs::SpanKind::kExchange,
+      obs::SpanKind::kUnpack};
+  return span_begin(kPhaseSpan[static_cast<int>(phase)],
+                    static_cast<std::int32_t>(comm_.exchanges));
+}
+
 void Proc::barrier() {
   check_outside_timed("barrier");
   publish_state("barrier");
+  // The clock jump absorbed here is BSP skew — a leaf span plus the
+  // barrier_skew_us histogram.
+  const int sp = span_begin(obs::SpanKind::kBarrierWait);
+  const double before = clock_us_;
   clock_us_ = machine_.impl_->barrier_sync(clock_us_);
+  span_end(sp);
+  if (machine_.impl_->obs_enabled) {
+    auto& m = machine_.impl_->metrics[static_cast<std::size_t>(rank_)];
+    m.barrier_skew_us.record(clock_us_ - before);
+    m.barriers += 1;
+  }
   publish_state("running");
 }
 
@@ -646,7 +790,27 @@ void Proc::commit_exchange() {
                                  static_cast<int>(sizeof(std::uint32_t)));
     }
   }
+  // Leaf span covering exactly the transfer charge (the barrier wait
+  // above already has its own leaf span — no double counting).
+  const int xsp = span_begin(obs::SpanKind::kExchange,
+                             static_cast<std::int32_t>(comm_.exchanges));
   charge(Phase::kTransfer, t);
+  span_end(xsp);
+  if (impl.obs_enabled) {
+    auto& m = impl.metrics[static_cast<std::size_t>(rank_)];
+    m.exchanges += 1;
+    m.exchange_bytes.record(static_cast<double>(elements) *
+                            static_cast<double>(sizeof(std::uint32_t)));
+    for (std::size_t i = 0; i < vp.send_peers.size(); ++i) {
+      if (static_cast<int>(vp.send_peers[i]) == rank_ || vp.slot_len[i] == 0) continue;
+      m.slot_bytes.record(static_cast<double>(vp.slot_len[i]) *
+                          static_cast<double>(sizeof(std::uint32_t)));
+    }
+    if (fault_mask != 0) {
+      span_instant(obs::SpanKind::kFault,
+                   static_cast<std::int32_t>(comm_.exchanges), fault_mask);
+    }
+  }
   comm_.exchanges += 1;
   comm_.elements_sent += elements;
   comm_.messages_sent += messages;
@@ -729,8 +893,12 @@ std::uint8_t Proc::apply_commit_faults() {
         af.fired[ri] = 1;
         af.fires.fetch_add(1, std::memory_order_relaxed);
         // Simulated skew on the victim's clock (charged as compute so
-        // transfer-time model validation stays exact)...
+        // transfer-time model validation stays exact); its own leaf
+        // span kind so the timeline shows the injected delay by name...
+        const int sp = span_begin(obs::SpanKind::kStraggler,
+                                  static_cast<std::int32_t>(comm_.exchanges));
         charge(Phase::kCompute, rule.delay_us);
+        span_end(sp);
         // ...plus BOUNDED real stall, so peers actually park in the
         // commit barrier and the watchdog has something to observe.
         const double ms = std::clamp(rule.real_ms, 0.0, fault::kMaxRealStallMs);
@@ -834,6 +1002,13 @@ RunReport Machine::run(const std::function<void(Proc&)>& program) {
   if (impl_->trace_enabled) {
     for (auto& t : impl_->traces) t.clear();
   }
+  // Span stacks are also the watchdog's stuck-phase diagnosis, so they
+  // are maintained whenever either consumer is on.
+  impl_->obs_armed = impl_->obs_enabled || impl_->watchdog_s > 0;
+  if (impl_->obs_enabled) {
+    for (auto& s : impl_->spans) s.clear();
+    for (auto& m : impl_->metrics) m.clear();
+  }
   // Per-run hardening state: watchdog diagnosis and fault bookkeeping
   // describe the most recent run only.  No workers are active here, so
   // plain writes are safe.
@@ -848,6 +1023,9 @@ RunReport Machine::run(const std::function<void(Proc&)>& program) {
     vp.st_where.store("running", std::memory_order_relaxed);
     vp.st_exchanges.store(0, std::memory_order_relaxed);
     vp.st_clock.store(0, std::memory_order_relaxed);
+    vp.st_span_kind.store(255, std::memory_order_relaxed);
+    vp.st_span_arg.store(-1, std::memory_order_relaxed);
+    vp.st_leaf_kind.store(255, std::memory_order_relaxed);
   }
   std::vector<Proc> procs;
   procs.reserve(static_cast<std::size_t>(nprocs_));
@@ -897,6 +1075,17 @@ RunReport Machine::run(const std::function<void(Proc&)>& program) {
         s.where = vp.st_where.load(std::memory_order_relaxed);
         s.exchanges = vp.st_exchanges.load(std::memory_order_relaxed);
         s.clock_us = vp.st_clock.load(std::memory_order_relaxed);
+        // The open-span stack names WHAT the VP is stuck in, not just
+        // which protocol step: "in remap 3 / unpack".
+        const auto sk = vp.st_span_kind.load(std::memory_order_relaxed);
+        if (sk != 255) {
+          s.span = obs::span_kind_name(static_cast<obs::SpanKind>(sk));
+          s.span_arg = vp.st_span_arg.load(std::memory_order_relaxed);
+        }
+        const auto lk2 = vp.st_leaf_kind.load(std::memory_order_relaxed);
+        if (lk2 != 255) {
+          s.leaf = obs::span_kind_name(static_cast<obs::SpanKind>(lk2));
+        }
         impl_->timeout_states.push_back(s);
       }
       impl_->timed_out = true;
@@ -933,6 +1122,9 @@ RunReport Machine::run(const std::function<void(Proc&)>& program) {
   }
   rep.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+  if (impl_->obs_enabled) {
+    rep.obs = obs::summarize(impl_->metrics.data(), nprocs_);
+  }
   return rep;
 }
 

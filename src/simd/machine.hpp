@@ -53,6 +53,25 @@
 // rings as JSONL, validates them against the Section 3.4 closed forms,
 // and fits (L, o, g, G) back out of them; see src/trace/.
 //
+// Span profiling & metrics (src/obs/)
+// -----------------------------------
+// enable_profiling() arms per-VP span timelines and metrics: the
+// Machine itself emits LEAF spans that tile the simulated clock exactly
+// (every timed section, the transfer charge of each exchange, the clock
+// jump of each barrier, injected straggler delays), and the sorts open
+// STRUCTURAL spans around them (local sort, merge stage, remap — see
+// obs/profile.hpp), each recorded on both the simulated clock and the
+// host thread-CPU clock into a preallocated per-VP ring.  The metrics
+// registry histograms bytes/exchange, slot sizes and barrier skew;
+// run() aggregates everything into RunReport::obs (p50/p95/max across
+// VPs).  obs/perfetto.hpp exports the rings as a Chrome trace-event
+// file (one track per VP).  Disabled profiling costs one predicted
+// branch per span site; enabled profiling allocates nothing in steady
+// state (audited in bench_machine_overhead).  The open-span stack also
+// feeds the barrier watchdog: a BarrierTimeout diagnosis names each
+// VP's innermost open structural span and leaf phase ("stuck in remap
+// 3 / unpack").
+//
 // Hardening (src/fault/)
 // ----------------------
 // Malformed protocol use fails loudly with structured bsort::Error
@@ -76,6 +95,8 @@
 #include <vector>
 
 #include "loggp/params.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "trace/events.hpp"
 
 namespace bsort::fault {
@@ -114,6 +135,9 @@ struct RunReport {
   std::vector<PhaseBreakdown> proc_phases;
   std::vector<CommStats> proc_comm;
   double wall_seconds = 0;           ///< host wall time (diagnostic only)
+  /// v2 phase/metric table (p50/p95/max across VPs); populated only
+  /// when the machine ran with profiling enabled (obs.enabled).
+  obs::ObsReport obs;
 
   /// Breakdown of the critical-path VP (the one defining the makespan).
   /// On an empty (default-constructed) report this returns a reference to
@@ -149,20 +173,42 @@ class Proc {
   /// deadlocking the machine, as does nesting timed() itself.
   template <class F>
   void timed(Phase phase, F&& f) {
+    // The section is also a leaf profiling span (obs/spans.hpp): its
+    // simulated interval closes AFTER the charge so the span's sim
+    // duration equals exactly what was charged.
+    const int sp = span_begin_phase(phase);
     const TimedToken tok = timed_begin();
     try {
       f();
     } catch (...) {
       timed_abort(tok);
+      span_end(sp);
       throw;
     }
     charge(phase, timed_end(tok) * cpu_scale());
+    span_end(sp);
   }
 
   [[nodiscard]] double cpu_scale() const;
 
   /// Add `us` microseconds to this VP's clock under `phase`.
   void charge(Phase phase, double us);
+
+  // ---- Span profiling (src/obs/) -------------------------------------
+  //
+  // Structural spans for the timeline profiler; sorts normally use the
+  // RAII obs::ScopedSpan (obs/profile.hpp) instead of calling these
+  // directly.  Every call is a no-op costing one predicted branch
+  // unless profiling (or the barrier watchdog, which reuses the
+  // open-span stack for its diagnosis) is armed.  Spans must strictly
+  // nest; `arg` carries the remap ordinal / stage number (-1 = none).
+
+  /// Open a span; returns a token for span_end (-1 when disarmed).
+  int span_begin(obs::SpanKind kind, std::int32_t arg = -1);
+  /// Close the span `token` (innermost open one); -1 tokens are ignored.
+  void span_end(int token);
+  /// Record a zero-duration instant event at the current clock.
+  void span_instant(obs::SpanKind kind, std::int32_t arg, std::uint8_t fault_mask);
 
   /// Annotate the NEXT committed exchange as a data remap: `group_log2`
   /// is r (the exchange group has 2^r members, Lemma 4), `from`/`to`
@@ -250,6 +296,22 @@ class Proc {
   double timed_end(const TimedToken& tok);
   void timed_abort(const TimedToken& tok);
 
+  /// Leaf span for a timed section: kind derived from the phase, the
+  /// upcoming exchange ordinal as the arg.
+  int span_begin_phase(Phase phase);
+
+  /// One open (not yet closed) span on this VP's span stack.
+  struct OpenSpan {
+    obs::SpanKind kind = obs::SpanKind::kCompute;
+    std::int32_t arg = -1;
+    double sim0 = 0;
+    double host0 = 0;
+  };
+  static constexpr int kMaxSpanDepth = 32;
+  /// Publish the innermost open structural span + leaf phase for the
+  /// barrier watchdog diagnosis (no-op unless a watchdog is armed).
+  void publish_span_state();
+
   /// Pending trace_remap() annotation, consumed by the next
   /// commit_exchange (only maintained while tracing is enabled).
   struct TraceAnnotation {
@@ -286,6 +348,8 @@ class Proc {
   TraceAnnotation trace_ann_;
   PhaseBreakdown trace_snap_;   ///< phase totals at the last recorded event
   std::int32_t trace_remaps_ = 0;  ///< annotated exchanges so far (measured R)
+  OpenSpan span_stack_[kMaxSpanDepth];  ///< open spans, innermost last
+  int span_depth_ = 0;                  ///< only maintained while armed
 };
 
 /// The machine: P virtual processors, a LogGP parameter set and a message
@@ -327,6 +391,27 @@ class Machine {
   /// The (post-run) event ring of one VP; valid only while tracing is
   /// enabled.
   [[nodiscard]] const trace::VpTrace& vp_trace(int rank) const;
+
+  // ---- Span profiling & metrics (src/obs/) --------------------------
+  //
+  // When enabled, the Machine emits leaf spans (timed sections,
+  // transfer charges, barrier waits, straggler delays) and the sorts'
+  // structural spans into per-VP preallocated rings (`spans_per_vp`
+  // capacity, oldest spans overwritten on overflow), and the metrics
+  // registry histograms bytes/exchange, slot sizes and barrier skew.
+  // run() then fills RunReport::obs.  Same discipline as tracing:
+  // allocation-free recording, one predicted branch when disabled,
+  // rings cleared at run() start, flip only between runs.
+
+  void enable_profiling(std::size_t spans_per_vp = 4096);
+  void disable_profiling();
+  [[nodiscard]] bool profiling() const;
+  /// The (post-run) span ring of one VP, in span-END order; valid only
+  /// while profiling is enabled.
+  [[nodiscard]] const obs::VpSpans& vp_spans(int rank) const;
+  /// The (post-run) metrics of one VP; valid only while profiling is
+  /// enabled.
+  [[nodiscard]] const obs::VpMetrics& vp_metrics(int rank) const;
 
   // ---- Hardening defenses (src/fault/) ------------------------------
   //

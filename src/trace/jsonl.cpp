@@ -1,41 +1,15 @@
 #include "trace/jsonl.hpp"
 
-#include <iomanip>
+#include "util/json.hpp"
 
 namespace bsort::trace {
-
-namespace {
-
-/// Minimal JSON string escaping for the free-form meta fields (labels
-/// are ASCII identifiers in practice, but don't bet correctness on it).
-void put_escaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
-             << static_cast<int>(c) << std::dec << std::setfill(' ');
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
 
 std::size_t write_jsonl(std::ostream& os, const simd::Machine& m, const TraceMeta& meta) {
   const auto& p = m.params();
   os << "{\"type\":\"meta\",\"label\":";
-  put_escaped(os, meta.label);
+  util::write_json_string(os, meta.label);
   os << ",\"algorithm\":";
-  put_escaped(os, meta.algorithm);
+  util::write_json_string(os, meta.algorithm);
   os << ",\"keys_per_proc\":" << meta.keys_per_proc << ",\"nprocs\":" << m.nprocs()
      << ",\"mode\":\"" << (m.mode() == simd::MessageMode::kLong ? "long" : "short")
      << "\",\"L\":" << p.L << ",\"o\":" << p.o << ",\"g\":" << p.g << ",\"G\":" << p.G

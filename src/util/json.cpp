@@ -1,0 +1,35 @@
+#include "util/json.hpp"
+
+namespace bsort::util {
+
+std::string json_escape(std::string_view s) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"' << json_escape(s) << '"';
+}
+
+}  // namespace bsort::util

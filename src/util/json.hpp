@@ -1,0 +1,21 @@
+// Shared JSON string escaping for every exporter that embeds
+// user-supplied text (trace/jsonl, obs/perfetto, bench/bench_report).
+// A hostile label — quotes, backslashes, control characters — must
+// never be able to break the emitted JSON.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace bsort::util {
+
+/// Escaped content of `s` (no surrounding quotes): ", \ and control
+/// characters below 0x20 become their JSON escape sequences; everything
+/// else passes through byte-for-byte (UTF-8 stays UTF-8).
+std::string json_escape(std::string_view s);
+
+/// Write `s` as a complete JSON string literal, quotes included.
+void write_json_string(std::ostream& os, std::string_view s);
+
+}  // namespace bsort::util

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare a bsort-bench-v1 report to a baseline.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--time-tol 0.5] [--counts-only]
+
+Both files carry the schema written by bench/bench_report.cpp:
+
+    {"schema": "bsort-bench-v1", "name": ..., "metrics": [
+        {"name": ..., "kind": "time"|"count", "unit": ..., "value": ...}, ...]}
+
+Comparison rules:
+  * kind "count"  — exact match.  These are simulator-deterministic
+    (exchanges, elements sent, heap allocations, spans recorded), so any
+    drift is a behaviour change, not noise.
+  * kind "time"   — current may not REGRESS past baseline*(1+tol).
+    Improvements and noise in the faster direction always pass.  The
+    default tolerance is deliberately loose (50%) because simulated
+    times are calibrated but CI hosts are shared; tighten with
+    --time-tol once a runner is dedicated.
+  * a metric present in the baseline but missing from the current run
+    is an error (a silently dropped benchmark reads as "no regression").
+    New metrics in the current run are reported but pass — the baseline
+    is updated by committing the new file.
+
+Exit status: 0 = no regression, 1 = regression or schema error.
+No third-party imports; runs on a stock python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("schema") != "bsort-bench-v1":
+        sys.exit(f"bench_compare: {path}: unexpected schema {doc.get('schema')!r}")
+    metrics = {}
+    for m in doc.get("metrics", []):
+        metrics[m["name"]] = (m.get("kind", "time"), float(m["value"]))
+    return doc.get("name", "?"), metrics
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--time-tol", type=float, default=0.5,
+                    help="max allowed relative regression for kind=time "
+                         "metrics (default 0.5 = +50%%)")
+    ap.add_argument("--counts-only", action="store_true",
+                    help="skip time comparisons entirely (for sanitizer "
+                         "legs where wall/simulated times are meaningless)")
+    args = ap.parse_args()
+
+    base_name, base = load_report(args.baseline)
+    cur_name, cur = load_report(args.current)
+    if base_name != cur_name:
+        print(f"bench_compare: WARNING: comparing report '{cur_name}' "
+              f"against baseline '{base_name}'")
+
+    failures = []
+    compared = skipped = 0
+    for name, (kind, bval) in sorted(base.items()):
+        if name not in cur:
+            failures.append(f"MISSING  {name}: in baseline but not in current run")
+            continue
+        ckind, cval = cur[name]
+        if ckind != kind:
+            failures.append(f"KIND     {name}: baseline={kind} current={ckind}")
+            continue
+        if kind == "count":
+            compared += 1
+            if cval != bval:
+                failures.append(f"COUNT    {name}: baseline={bval:g} current={cval:g}")
+        else:
+            if args.counts_only:
+                skipped += 1
+                continue
+            compared += 1
+            limit = bval * (1.0 + args.time_tol)
+            if cval > limit:
+                rel = (cval - bval) / bval if bval else float("inf")
+                failures.append(f"TIME     {name}: baseline={bval:g} "
+                                f"current={cval:g} (+{rel:.0%} > +{args.time_tol:.0%})")
+
+    new = sorted(set(cur) - set(base))
+    for name in new:
+        print(f"note: new metric (not in baseline): {name}")
+
+    print(f"bench_compare[{cur_name}]: {compared} compared, {skipped} skipped, "
+          f"{len(new)} new, {len(failures)} failures "
+          f"(time tol +{args.time_tol:.0%})")
+    if failures:
+        for f in failures:
+            print("  " + f)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
