@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "api/parallel_sort.hpp"
+#include "backend/backend.hpp"
 #include "bench_report.hpp"
 #include "bitonic/remap_exec.hpp"
 #include "layout/bit_layout.hpp"
@@ -176,6 +177,61 @@ int main(int argc, char** argv) {
                      static_cast<double>(window_allocs.load()));
     if (window_allocs.load() != 0) {
       std::cerr << "WARNING: steady-state remap performed "
+                << window_allocs.load() << " heap allocations (expected 0)\n";
+      return 2;
+    }
+  }
+
+  // ---- native-backend steady-state allocation audit -----------------
+  // The same warmed-up remap loop on the NATIVE backend: every exchange
+  // now memcpys its payloads into the receiver's recv arena.  The arena
+  // reaches its high-water mark during warmup (the remap sizes are
+  // fixed), so the measured window must STILL allocate exactly nothing
+  // — real data movement does not break the pooled-exchange discipline.
+  {
+    const int P = 16;
+    const int log_p = 4;
+    const int log_n = 10;
+    const std::size_t n = std::size_t{1} << log_n;
+    const int kWarmup = 3;
+    const int kMeasured = 20;
+
+    simd::Machine m(P, loggp::meiko_cs2(), simd::MessageMode::kLong, 1.0,
+                    backend::make(backend::Kind::kNative));
+    std::atomic<std::uint64_t> window_allocs{0};
+    const auto rep = m.run([&](simd::Proc& p) {
+      const auto blocked = layout::BitLayout::blocked(log_n, log_p);
+      const auto cyclic = layout::BitLayout::cyclic(log_n, log_p);
+      std::vector<std::uint32_t> a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<std::uint32_t>((i * 2654435761u) ^
+                                          static_cast<std::uint32_t>(p.rank()));
+      }
+      bitonic::RemapWorkspace ws_bc, ws_cb;
+      for (int r = 0; r < kWarmup; ++r) {
+        bitonic::remap_data_into(p, blocked, cyclic, a, b, ws_bc);
+        bitonic::remap_data_into(p, cyclic, blocked, b, a, ws_cb);
+      }
+      p.barrier();
+      std::uint64_t t0 = 0;
+      if (p.rank() == 0) t0 = g_allocs.load();
+      for (int r = 0; r < kMeasured; ++r) {
+        bitonic::remap_data_into(p, blocked, cyclic, a, b, ws_bc);
+        bitonic::remap_data_into(p, cyclic, blocked, b, a, ws_cb);
+      }
+      p.barrier();
+      if (p.rank() == 0) window_allocs.store(g_allocs.load() - t0);
+    });
+
+    const int remaps = 2 * kMeasured * P;
+    std::cout << "  \"steady_state_native\": {\"nprocs\": " << P
+              << ", \"keys_per_proc\": " << n << ", \"remaps_measured\": " << remaps
+              << ", \"heap_allocations\": " << window_allocs.load()
+              << ", \"wall_seconds\": " << rep.wall_seconds << "},\n";
+    report.add_count("steady_state_native/heap_allocations",
+                     static_cast<double>(window_allocs.load()));
+    if (window_allocs.load() != 0) {
+      std::cerr << "WARNING: native steady-state remap performed "
                 << window_allocs.load() << " heap allocations (expected 0)\n";
       return 2;
     }

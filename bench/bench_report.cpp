@@ -21,7 +21,9 @@ void BenchReport::write(std::ostream& os) const {
     util::write_json_string(os, m.name);
     os << ",\"kind\":\"" << m.kind << "\",\"unit\":";
     util::write_json_string(os, m.unit);
-    os << ",\"value\":" << m.value << "}";
+    os << ",\"value\":";
+    util::write_json_number(os, m.value);
+    os << "}";
   }
   os << "\n]}\n";
 }

@@ -223,7 +223,9 @@ Outcome parallel_sort(std::vector<std::uint32_t>& keys, const Config& config) {
        << algorithm_name(config.algorithm) << ", P=" << config.nprocs << ")";
     throw ConfigError(os.str());
   }
-  simd::Machine machine(config.nprocs, config.params, config.mode, config.cpu_scale);
+  simd::Machine machine(
+      config.nprocs, config.params, config.mode, config.cpu_scale,
+      backend::make(backend::kind_from_env(config.backend)));
   return run_sort_on(machine, keys, config);
 }
 

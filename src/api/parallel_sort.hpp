@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "bitonic/sorts.hpp"
 #include "loggp/params.hpp"
 #include "simd/machine.hpp"
@@ -38,6 +39,15 @@ struct Config {
   double cpu_scale = 1.0;
   Algorithm algorithm = Algorithm::kSmartBitonic;
   bitonic::SmartOptions smart;  ///< used by kSmartBitonic only
+
+  /// Execution backend for the machine parallel_sort constructs:
+  /// kSimulated charges analytic LogP/LogGP time (the historical
+  /// behavior); kNative executes exchanges as real memcpys and charges
+  /// measured time.  The BSORT_BACKEND environment variable, when set,
+  /// overrides this field (backend::kind_from_env).  parallel_sort_on
+  /// runs on the caller's machine and therefore ignores it — pass the
+  /// backend to the Machine constructor instead.
+  backend::Kind backend = backend::Kind::kSimulated;
 
   // ---- observability (src/obs/) -------------------------------------
   /// Per-VP span ring capacity; 0 disables profiling.  When set, the

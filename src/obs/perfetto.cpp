@@ -61,18 +61,21 @@ void write_perfetto(std::ostream& os, const simd::Machine& machine,
     for (const SpanRecord& rec : recs) {
       write_event_prefix(os, first);
       if (rec.kind == SpanKind::kFault) {
-        os << R"({"name":"fault","cat":"fault","ph":"i","s":"t","ts":)"
-           << rec.sim_begin_us << R"(,"pid":0,"tid":)" << r
+        os << R"({"name":"fault","cat":"fault","ph":"i","s":"t","ts":)";
+        util::write_json_number(os, rec.sim_begin_us);
+        os << R"(,"pid":0,"tid":)" << r
            << R"(,"args":{"mask":)" << static_cast<int>(rec.fault_mask)
            << R"(,"exchange":)" << rec.arg << "}}";
         continue;
       }
       os << "{\"name\":";
       util::write_json_string(os, span_kind_name(rec.kind));
-      os << ",\"cat\":\"" << span_category(rec.kind) << R"(","ph":"X","ts":)"
-         << rec.sim_begin_us << ",\"dur\":" << rec.sim_us()
-         << R"(,"pid":0,"tid":)" << r << R"(,"args":{"host_us":)"
-         << rec.host_us();
+      os << ",\"cat\":\"" << span_category(rec.kind) << R"(","ph":"X","ts":)";
+      util::write_json_number(os, rec.sim_begin_us);
+      os << ",\"dur\":";
+      util::write_json_number(os, rec.sim_us());
+      os << R"(,"pid":0,"tid":)" << r << R"(,"args":{"host_us":)";
+      util::write_json_number(os, rec.host_us());
       if (rec.arg >= 0) os << ",\"ordinal\":" << rec.arg;
       os << "}}";
     }

@@ -14,6 +14,7 @@
 #include <sstream>
 #include <thread>
 
+#include "backend/backend.hpp"
 #include "fault/error.hpp"
 #include "fault/plan.hpp"
 #include "loggp/cost.hpp"
@@ -87,6 +88,12 @@ struct VpState {
   std::vector<std::span<const std::uint32_t>> recv_views;
   std::size_t self_slot = static_cast<std::size_t>(-1);
   bool open = false;
+
+  /// Receive-side heap for the native backend: collect() memcpys every
+  /// non-self payload here and re-points recv_views at the copies.
+  /// Unused (stays empty) on the simulated backend, whose views are
+  /// zero-copy spans into the senders' arenas.
+  std::vector<std::uint32_t> recv_arena;
 
   /// open_exchange duplicate-peer scratch (bit 0 = seen as send peer,
   /// bit 1 = seen as recv peer); sized to nprocs on first use and
@@ -189,6 +196,11 @@ struct Machine::Impl {
 
   bool thread_clock = false;
   std::vector<std::mutex> timed_shards;  ///< fallback timing locks
+
+  /// Execution backend pricing (simulated) or measuring (native) every
+  /// exchange.  Stateless and shared: collect() is called concurrently
+  /// from every VP's worker thread.  Set once at construction.
+  std::unique_ptr<bsort::backend::Backend> backend;
 
   // ---- worker pool (guarded by run_mu) ------------------------------
   std::mutex run_mu;
@@ -296,20 +308,40 @@ struct Machine::Impl {
 };
 
 Machine::Machine(int nprocs, loggp::Params params, MessageMode mode, double cpu_scale)
+    : Machine(nprocs, params, mode, cpu_scale, nullptr) {}
+
+Machine::Machine(int nprocs, loggp::Params params, MessageMode mode, double cpu_scale,
+                 std::unique_ptr<bsort::backend::Backend> exec)
     : nprocs_(nprocs), params_(params), mode_(mode), cpu_scale_(cpu_scale) {
-  assert(nprocs >= 1);
-  assert(cpu_scale > 0);
+  // Structured validation instead of the old asserts: in Release a
+  // non-positive cpu_scale sailed through and corrupted every charge.
+  if (nprocs < 1) {
+    std::ostringstream os;
+    os << "Machine: nprocs must be >= 1 (got " << nprocs << ")";
+    throw ConfigError(os.str());
+  }
+  if (!(cpu_scale > 0)) {  // !(x > 0) also rejects NaN
+    std::ostringstream os;
+    os << "Machine: cpu_scale must be > 0 (got " << cpu_scale
+       << "); it multiplies every measured compute time";
+    throw ConfigError(os.str());
+  }
+  if (!exec) exec = bsort::backend::make(bsort::backend::kind_from_env(
+                        bsort::backend::Kind::kSimulated));
   // Fallback shard count: no more concurrent timed sections than the
   // host can run without cross-VP interference (at least one shard).
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   const int shards = std::max(1, std::min(nprocs, hw / 2));
   impl_ = new Impl(nprocs, shards);
+  impl_->backend = std::move(exec);
   impl_->thread_clock = probe_thread_clock();
   impl_->workers.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
     impl_->workers.emplace_back([this, r] { impl_->worker_loop(r); });
   }
 }
+
+const bsort::backend::Backend& Machine::backend() const { return *impl_->backend; }
 
 Machine::~Machine() {
   {
@@ -754,9 +786,11 @@ void Proc::commit_exchange() {
     vp.recv_declared.resize(vp.recv_peers.size());
     vp.recv_sum.resize(vp.recv_peers.size());
   }
+  std::size_t self_view = static_cast<std::size_t>(-1);
   for (std::size_t i = 0; i < vp.recv_peers.size(); ++i) {
     const auto src = static_cast<int>(vp.recv_peers[i]);
     if (src == rank_) {
+      self_view = i;
       // Kept portion: the VP's own staged slot (empty if none staged).
       // Never transmitted, so it carries no integrity seal.
       if (vp.self_slot != static_cast<std::size_t>(-1)) {
@@ -777,23 +811,26 @@ void Proc::commit_exchange() {
     c = {};  // a peer that never deposits again reads back empty
   }
 
-  // Charge communication time (Section 3.4).  Short messages: each key
-  // is its own message.
+  // Price (simulated) or execute-and-measure (native) the transfer.
+  // Short messages: each key is its own message in the CommStats, on
+  // either backend — the counters describe the schedule, not the cost.
   const std::uint64_t peers = messages;  // payload-bearing non-self peers
-  double t = 0;
-  if (elements > 0) {
-    if (machine_.mode_ == MessageMode::kShort) {
-      t = loggp::remap_time_short(machine_.params_, elements);
-      messages = elements;
-    } else {
-      t = loggp::remap_time_long(machine_.params_, elements, messages,
-                                 static_cast<int>(sizeof(std::uint32_t)));
-    }
-  }
-  // Leaf span covering exactly the transfer charge (the barrier wait
-  // above already has its own leaf span — no double counting).
+  bsort::backend::ExchangeDesc xd;
+  xd.params = &machine_.params_;
+  xd.elements = elements;
+  xd.messages = messages;
+  xd.long_messages = machine_.mode_ == MessageMode::kLong;
+  xd.elem_bytes = static_cast<int>(sizeof(std::uint32_t));
+  if (machine_.mode_ == MessageMode::kShort) messages = elements;
+  // Leaf span covering the backend's collect plus the transfer charge
+  // (the barrier wait above already has its own leaf span — no double
+  // counting).  On the native backend the span's host time therefore
+  // brackets the real memcpys.
   const int xsp = span_begin(obs::SpanKind::kExchange,
                              static_cast<std::int32_t>(comm_.exchanges));
+  const double t = impl.backend->collect(
+      xd, {vp.recv_views.data(), vp.recv_views.size()}, self_view,
+      vp.recv_arena);
   charge(Phase::kTransfer, t);
   span_end(xsp);
   if (impl.obs_enabled) {
@@ -881,7 +918,12 @@ std::uint8_t Proc::apply_commit_faults() {
 
   for (std::size_t ri = 0; ri < af.plan.rules.size(); ++ri) {
     const auto& rule = af.plan.rules[ri];
-    if (af.fired[ri] || rule.rank != rank_) continue;
+    // Rank check FIRST: `fired[ri]` is written by the victim VP's
+    // thread, so every other VP reading it here (as the old order did)
+    // is a data race.  With the rank filter in front, each fired slot
+    // is touched by exactly one thread for the whole run; the pre-run
+    // resets in arm_faults()/run() happen-before worker dispatch.
+    if (rule.rank != rank_ || af.fired[ri]) continue;
     // `comm_.exchanges` is the 0-based ordinal of the exchange being
     // committed; a rule waits for the first ELIGIBLE exchange at or
     // after its trigger ordinal.

@@ -5,9 +5,12 @@
 // with a private simulated clock (microseconds):
 //   * local computation is charged with measured execution time of the
 //     timed section (see "Timing calibration" below);
-//   * communication is charged analytically with the LogP (short
-//     messages) or LogGP (long messages) formulas of Section 3.4, using
-//     the machine's parameter set;
+//   * communication is priced by the machine's execution backend
+//     (src/backend/): the default SIMULATED backend charges analytically
+//     with the LogP (short messages) or LogGP (long messages) formulas
+//     of Section 3.4 using the machine's parameter set; the NATIVE
+//     backend executes each exchange as real memcpys between VP heaps
+//     and charges the MEASURED copy time instead;
 //   * barriers synchronize clocks to the maximum, BSP style.
 // Phase-tagged accounting (compute / pack / transfer / unpack) feeds the
 // breakdown experiments (Figures 5.4 and 5.6, Table 5.4).
@@ -47,7 +50,9 @@
 // -----------
 // enable_tracing() arms a per-VP ring buffer of trace::ExchangeEvents;
 // every commit_exchange() then records the exchange's V/M counters, the
-// LogP/LogGP time charged, and the phase-time deltas — plus the remap
+// transfer time the backend charged (analytic LogP/LogGP on the
+// simulated backend, measured copy time on the native one), and the
+// phase-time deltas — plus the remap
 // annotation (ordinal, group size 2^r, layout transition) when the sort
 // called Proc::trace_remap() first.  The trace/ subsystem exports the
 // rings as JSONL, validates them against the Section 3.4 closed forms,
@@ -91,6 +96,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -102,6 +108,10 @@
 namespace bsort::fault {
 struct FaultPlan;
 }  // namespace bsort::fault
+
+namespace bsort::backend {
+class Backend;
+}  // namespace bsort::backend
 
 namespace bsort::simd {
 
@@ -360,8 +370,23 @@ class Machine {
  public:
   /// `cpu_scale` multiplies every measured compute time before charging
   /// it to the simulated clock: 1.0 models "this host's cores", larger
-  /// values model proportionally slower processors.
+  /// values model proportionally slower processors.  Transfer charges
+  /// are never scaled (the simulated backend prices them analytically;
+  /// the native backend reports raw measured copy time).
+  ///
+  /// A non-positive (or NaN) cpu_scale and an nprocs < 1 throw
+  /// ConfigError — in Release they used to sail through an assert and
+  /// corrupt every subsequent charge.
+  ///
+  /// The exchange path runs on `exec`; passing null (and the
+  /// four-argument form) resolves the backend from the BSORT_BACKEND
+  /// environment variable ("simulated" | "native") and defaults to the
+  /// simulated LogGP backend.  Tests and benches that assert analytic
+  /// charges pin backend::make_simulated() explicitly so a
+  /// BSORT_BACKEND=native run cannot flip their model.
   Machine(int nprocs, loggp::Params params, MessageMode mode, double cpu_scale = 1.0);
+  Machine(int nprocs, loggp::Params params, MessageMode mode, double cpu_scale,
+          std::unique_ptr<bsort::backend::Backend> exec);
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -370,6 +395,8 @@ class Machine {
   [[nodiscard]] int nprocs() const { return nprocs_; }
   [[nodiscard]] MessageMode mode() const { return mode_; }
   [[nodiscard]] const loggp::Params& params() const { return params_; }
+  /// The execution backend pricing (or measuring) every exchange.
+  [[nodiscard]] const bsort::backend::Backend& backend() const;
 
   /// True when timed sections use the lock-free per-thread CPU clock
   /// (see "Timing calibration"); false in the sharded-lock fallback.

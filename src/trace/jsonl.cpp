@@ -12,8 +12,15 @@ std::size_t write_jsonl(std::ostream& os, const simd::Machine& m, const TraceMet
   util::write_json_string(os, meta.algorithm);
   os << ",\"keys_per_proc\":" << meta.keys_per_proc << ",\"nprocs\":" << m.nprocs()
      << ",\"mode\":\"" << (m.mode() == simd::MessageMode::kLong ? "long" : "short")
-     << "\",\"L\":" << p.L << ",\"o\":" << p.o << ",\"g\":" << p.g << ",\"G\":" << p.G
-     << ",\"dropped\":[";
+     << "\",\"L\":";
+  util::write_json_number(os, p.L);
+  os << ",\"o\":";
+  util::write_json_number(os, p.o);
+  os << ",\"g\":";
+  util::write_json_number(os, p.g);
+  os << ",\"G\":";
+  util::write_json_number(os, p.G);
+  os << ",\"dropped\":[";
   for (int r = 0; r < m.nprocs(); ++r) {
     if (r > 0) os << ',';
     os << m.vp_trace(r).dropped();
@@ -31,10 +38,17 @@ std::size_t write_jsonl(std::ostream& os, const simd::Machine& m, const TraceMet
          << ",\"layout_from\":\"" << layout_tag_name(e.layout_from) << "\",\"layout_to\":\""
          << layout_tag_name(e.layout_to) << "\",\"peers\":" << e.peers
          << ",\"elements\":" << e.elements << ",\"messages\":" << e.messages
-         << ",\"charged_us\":" << e.charged_us << ",\"compute_us\":" << e.compute_us
-         << ",\"pack_us\":" << e.pack_us << ",\"unpack_us\":" << e.unpack_us
-         << ",\"clock_us\":" << e.clock_us
-         << ",\"faults\":" << static_cast<int>(e.fault_mask) << "}\n";
+         << ",\"charged_us\":";
+      util::write_json_number(os, e.charged_us);
+      os << ",\"compute_us\":";
+      util::write_json_number(os, e.compute_us);
+      os << ",\"pack_us\":";
+      util::write_json_number(os, e.pack_us);
+      os << ",\"unpack_us\":";
+      util::write_json_number(os, e.unpack_us);
+      os << ",\"clock_us\":";
+      util::write_json_number(os, e.clock_us);
+      os << ",\"faults\":" << static_cast<int>(e.fault_mask) << "}\n";
       ++written;
     }
   }

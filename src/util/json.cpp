@@ -1,5 +1,7 @@
 #include "util/json.hpp"
 
+#include <cmath>
+
 namespace bsort::util {
 
 std::string json_escape(std::string_view s) {
@@ -30,6 +32,14 @@ std::string json_escape(std::string_view s) {
 
 void write_json_string(std::ostream& os, std::string_view s) {
   os << '"' << json_escape(s) << '"';
+}
+
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  os << v;
 }
 
 }  // namespace bsort::util

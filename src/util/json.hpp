@@ -18,4 +18,11 @@ std::string json_escape(std::string_view s);
 /// Write `s` as a complete JSON string literal, quotes included.
 void write_json_string(std::ostream& os, std::string_view s);
 
+/// Write `v` as a JSON number.  JSON has no NaN/Infinity literals:
+/// streaming them produces "nan"/"inf" tokens that make the whole
+/// document unparseable, so non-finite values are emitted as `null`
+/// instead (and downstream gates — tools/bench_compare.py — treat null
+/// as a hard failure rather than a silently-passing metric).
+void write_json_number(std::ostream& os, double v);
+
 }  // namespace bsort::util

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "api/parallel_sort.hpp"
+#include "backend/backend.hpp"
 #include "fault/error.hpp"
 #include "fault/plan.hpp"
 #include "loggp/choose.hpp"
@@ -253,7 +254,11 @@ TEST(Chaos, DefensesArmedFaultFreeRunsValidateAgainstModel) {
 
   for (const auto mode : {simd::MessageMode::kLong, simd::MessageMode::kShort}) {
     for (const auto& c : cases) {
-      simd::Machine machine(kProcs, loggp::meiko_cs2(), mode);
+      // validate_run checks the ANALYTIC charges against the model's
+      // closed forms, so this machine pins the simulated backend even
+      // on the BSORT_BACKEND=native CI leg.
+      simd::Machine machine(kProcs, loggp::meiko_cs2(), mode, 1.0,
+                            bsort::backend::make_simulated());
       machine.enable_integrity();
       machine.set_watchdog(60.0);
       machine.enable_tracing();

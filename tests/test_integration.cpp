@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "backend/backend.hpp"
 #include "bitonic/sorts.hpp"
 #include "loggp/params.hpp"
 #include "psort/psort.hpp"
@@ -65,11 +66,18 @@ TEST(Integration, ShortMessagesChargeMoreThanLong) {
   const int P = 8;
   auto k1 = util::generate_keys(N, util::KeyDistribution::kUniform31, 7);
   auto k2 = k1;
-  const auto rep_long = run_blocked_spmd(
-      k1, P, simd::MessageMode::kLong,
+  // The 5x/10x ratios below are properties of the analytic LogP/LogGP
+  // charges, so both machines pin the simulated backend (measured
+  // native times do not depend on the message-mode accounting).
+  simd::Machine m_long(P, loggp::meiko_cs2(), simd::MessageMode::kLong, 1.0,
+                       backend::make_simulated());
+  simd::Machine m_short(P, loggp::meiko_cs2(), simd::MessageMode::kShort, 1.0,
+                        backend::make_simulated());
+  const auto rep_long = run_blocked_spmd_on(
+      m_long, k1,
       [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); });
-  const auto rep_short = run_blocked_spmd(
-      k2, P, simd::MessageMode::kShort,
+  const auto rep_short = run_blocked_spmd_on(
+      m_short, k2,
       [](simd::Proc& p, std::span<std::uint32_t> s) { bitonic::smart_sort(p, s); });
   EXPECT_EQ(k1, k2);
   // Same volume; far more messages and far more transfer time.

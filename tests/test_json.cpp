@@ -1,0 +1,71 @@
+// Non-finite-number hardening of the JSON writers (util::json and its
+// three consumers).  JSON has no NaN/Infinity literals: before
+// write_json_number, a single NaN metric streamed as the token "nan"
+// and made the whole document unparseable — or worse, parseable by a
+// lenient reader that then let the metric sail through the perf gate.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "bench_report.hpp"
+
+namespace bsort {
+namespace {
+
+std::string num(double v) {
+  std::ostringstream os;
+  util::write_json_number(os, v);
+  return os.str();
+}
+
+TEST(WriteJsonNumber, FiniteValuesPassThrough) {
+  EXPECT_EQ(num(0.0), "0");
+  EXPECT_EQ(num(1.5), "1.5");
+  EXPECT_EQ(num(-3.0), "-3");
+  // Respects the stream's precision like a raw operator<< would.
+  std::ostringstream os;
+  os.precision(15);
+  util::write_json_number(os, 0.1);
+  EXPECT_EQ(os.str(), "0.1");
+}
+
+TEST(WriteJsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(num(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(num(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(num(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(WriteJsonNumber, ExtremeFiniteValuesStayNumbers) {
+  EXPECT_NE(num(std::numeric_limits<double>::max()), "null");
+  EXPECT_NE(num(std::numeric_limits<double>::denorm_min()), "null");
+}
+
+// Regression: a NaN metric value must yield a structurally valid
+// bsort-bench-v1 document (value:null), never the token "nan".
+TEST(BenchReport, NanMetricEmitsNullNotNan) {
+  bench::BenchReport r("nan-regression");
+  r.add_time("ok", 1.25);
+  r.add_time("bad", std::numeric_limits<double>::quiet_NaN());
+  std::ostringstream os;
+  r.write(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"value\":1.25"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"value\":null"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find("nan"), doc.find("nan-regression")) << doc;
+  EXPECT_EQ(doc.find("inf"), std::string::npos) << doc;
+}
+
+TEST(BenchReport, InfinityMetricEmitsNull) {
+  bench::BenchReport r("inf-regression");
+  r.add_count("bad", std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  r.write(os);
+  EXPECT_NE(os.str().find("\"value\":null"), std::string::npos) << os.str();
+}
+
+}  // namespace
+}  // namespace bsort

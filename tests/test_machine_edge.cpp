@@ -4,11 +4,20 @@
 
 #include <numeric>
 
+#include "backend/backend.hpp"
 #include "loggp/params.hpp"
 #include "simd/machine.hpp"
 
 namespace bsort::simd {
 namespace {
+
+/// Tests comparing exact analytic charges pin the simulated backend
+/// (see test_machine.cpp): measured native times are not reproducible
+/// across runs, let alone equal to the closed forms.
+Machine sim_machine(int nprocs, MessageMode mode) {
+  return Machine(nprocs, loggp::meiko_cs2(), mode, 1.0,
+                 backend::make_simulated());
+}
 
 TEST(MachineEdge, AsymmetricExchange) {
   // A ring: everyone sends only to (rank+1) % P and receives only from
@@ -162,7 +171,7 @@ TEST(MachineEdge, PooledChargesMatchLegacyExchange) {
   const int P = 4;
   const std::size_t kMsg = 64;
   const auto run_legacy = [&](MessageMode mode) {
-    Machine m(P, loggp::meiko_cs2(), mode);
+    Machine m = sim_machine(P, mode);
     return m.run([&](Proc& p) {
       std::vector<std::uint64_t> peers(P);
       std::iota(peers.begin(), peers.end(), 0);
@@ -172,7 +181,7 @@ TEST(MachineEdge, PooledChargesMatchLegacyExchange) {
     });
   };
   const auto run_pooled = [&](MessageMode mode) {
-    Machine m(P, loggp::meiko_cs2(), mode);
+    Machine m = sim_machine(P, mode);
     return m.run([&](Proc& p) {
       std::vector<std::uint64_t> peers(P);
       std::iota(peers.begin(), peers.end(), 0);

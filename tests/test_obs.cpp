@@ -309,6 +309,62 @@ TEST(LogHistogram, QuantilesAreMonotoneAndBucketAccurate) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
 }
 
+TEST(LogHistogram, ExtremeQuantilesArePinned) {
+  // q = 0 and q = 1 are the edges the interpolation math is most
+  // likely to get wrong: the rank clamps to 1 at q = 0 (not 0, which
+  // would index before the first sample) and q = 1 must always report
+  // the exact recorded max, never a bucket upper bound past it.
+  obs::LogHistogram h;
+  h.clear();
+  for (const double v : {3.0, 20.0, 700.0}) h.record(v);
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(0.0), 4.0);  // inside the first sample's bucket [2,4)
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 700.0);
+  // Out-of-range q clamps instead of reading past the buckets.
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(LogHistogram, EmptyHistogramEdgeQuantilesAreZero) {
+  obs::LogHistogram h;
+  h.clear();
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 0.0);
+}
+
+TEST(LogHistogram, SingleSampleEdgeQuantilesClampToMax) {
+  obs::LogHistogram h;
+  h.clear();
+  h.record(5.0);
+  // One sample: every q lands on rank 1; the estimate interpolates in
+  // [4, 8) but the exact-max clamp pins it to exactly 5.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(LogHistogram, BucketZeroQuantilesInterpolateFromZero) {
+  // Bucket 0 spans [0, 2) — including all clamped-negative and
+  // sub-unit samples — so quantiles there must interpolate from 0,
+  // not from 2^0 = 1.
+  obs::LogHistogram h;
+  h.clear();
+  h.record(0.0);
+  h.record(0.5);
+  h.record(1.5);
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LT(h.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.5);  // clamped to exact max
+  double prev = 0;
+  for (const double q : {0.0, 0.3, 0.6, 0.9, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
 TEST(LogHistogram, MergeAddsCountsAndKeepsExactMax) {
   obs::LogHistogram a, b;
   a.clear();

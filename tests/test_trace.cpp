@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "bitonic/remap_exec.hpp"
 #include "bitonic/sorts.hpp"
 #include "layout/bit_layout.hpp"
@@ -32,6 +33,14 @@
 
 namespace bsort {
 namespace {
+
+/// Machines whose trace assertions are the exact analytic charges (or
+/// whose fits must recover the machine's OWN parameters) pin the
+/// simulated backend: under BSORT_BACKEND=native the charged times are
+/// measured on the host and these expectations do not apply.
+simd::Machine sim_machine(int nprocs, loggp::Params params, simd::MessageMode mode) {
+  return simd::Machine(nprocs, params, mode, 1.0, backend::make_simulated());
+}
 
 using bitonic::remap_data;
 using testing::run_blocked_spmd_on;
@@ -80,7 +89,7 @@ void pairwise_program(simd::Proc& p, std::size_t elems) {
 }
 
 TEST(MachineTracing, RecordsOneEventPerExchange) {
-  simd::Machine m(4, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  simd::Machine m = sim_machine(4, loggp::meiko_cs2(), simd::MessageMode::kLong);
   m.enable_tracing(16);
   m.run([](simd::Proc& p) {
     for (int i = 0; i < 3; ++i) pairwise_program(p, 8);
@@ -161,7 +170,7 @@ class TraceValidationTest : public ::testing::TestWithParam<simd::MessageMode> {
 TEST_P(TraceValidationTest, BlockedMergeMatchesPrediction) {
   const int P = 8;
   const std::uint64_t n = 1u << 9;
-  simd::Machine m(P, loggp::meiko_cs2(), GetParam());
+  simd::Machine m = sim_machine(P, loggp::meiko_cs2(), GetParam());
   m.enable_tracing();
   auto keys = util::generate_keys(n * P, util::KeyDistribution::kUniform31, 1);
   run_blocked_spmd_on(m, keys, [](simd::Proc& p, std::span<std::uint32_t> s) {
@@ -174,7 +183,7 @@ TEST_P(TraceValidationTest, BlockedMergeMatchesPrediction) {
 TEST_P(TraceValidationTest, CyclicBlockedMatchesPrediction) {
   const int P = 8;
   const std::uint64_t n = 1u << 9;
-  simd::Machine m(P, loggp::meiko_cs2(), GetParam());
+  simd::Machine m = sim_machine(P, loggp::meiko_cs2(), GetParam());
   m.enable_tracing();
   auto keys = util::generate_keys(n * P, util::KeyDistribution::kUniform31, 2);
   run_blocked_spmd_on(m, keys, [](simd::Proc& p, std::span<std::uint32_t> s) {
@@ -187,7 +196,7 @@ TEST_P(TraceValidationTest, CyclicBlockedMatchesPrediction) {
 TEST_P(TraceValidationTest, SmartMatchesPrediction) {
   const int P = 8;
   const std::uint64_t n = 1u << 9;  // lgP(lgP+1)/2 = 6 <= 9: usual regime
-  simd::Machine m(P, loggp::meiko_cs2(), GetParam());
+  simd::Machine m = sim_machine(P, loggp::meiko_cs2(), GetParam());
   m.enable_tracing();
   auto keys = util::generate_keys(n * P, util::KeyDistribution::kUniform31, 3);
   run_blocked_spmd_on(m, keys, [](simd::Proc& p, std::span<std::uint32_t> s) {
@@ -259,7 +268,8 @@ TEST(TraceValidation, CatchesCyclicTruncationBugAtSmallN) {
 // refutes the closed forms.
 TEST(TraceValidation, CatchesSmartClosedFormOutOfRegime) {
   const std::uint64_t n = 8, P = 8, lgP = 3;
-  simd::Machine m(static_cast<int>(P), loggp::meiko_cs2(), simd::MessageMode::kLong);
+  simd::Machine m = sim_machine(static_cast<int>(P), loggp::meiko_cs2(),
+                                simd::MessageMode::kLong);
   m.enable_tracing();
   auto keys = util::generate_keys(n * P, util::KeyDistribution::kUniform31, 4);
   run_blocked_spmd_on(m, keys, [](simd::Proc& p, std::span<std::uint32_t> s) {
@@ -282,7 +292,7 @@ TEST(TraceValidation, CatchesSmartClosedFormOutOfRegime) {
 
 TEST(Fit, RecoversParametersFromLongModeCalibration) {
   const auto truth = loggp::meiko_cs2();
-  simd::Machine m(8, truth, simd::MessageMode::kLong);
+  simd::Machine m = sim_machine(8, truth, simd::MessageMode::kLong);
   const auto fit = trace::calibrate(m, truth.o);
   EXPECT_FALSE(m.tracing());  // restored
   EXPECT_TRUE(fit.long_mode);
@@ -298,7 +308,7 @@ TEST(Fit, RecoversParametersFromLongModeCalibration) {
 
 TEST(Fit, RecoversParametersFromShortModeCalibration) {
   const auto truth = loggp::meiko_cs2();
-  simd::Machine m(4, truth, simd::MessageMode::kShort);
+  simd::Machine m = sim_machine(4, truth, simd::MessageMode::kShort);
   const auto fit = trace::calibrate(m, truth.o);
   EXPECT_FALSE(fit.long_mode);
   EXPECT_NEAR(fit.params.L, truth.L, 0.05 * truth.L);
@@ -308,7 +318,7 @@ TEST(Fit, RecoversParametersFromShortModeCalibration) {
 
 TEST(Fit, FittedParametersReproduceStrategyChoice) {
   const auto truth = loggp::modern_cluster();
-  simd::Machine m(8, truth, simd::MessageMode::kLong);
+  simd::Machine m = sim_machine(8, truth, simd::MessageMode::kLong);
   const auto fit = trace::calibrate(m, truth.o);
   for (const std::uint64_t n : {std::uint64_t{64}, std::uint64_t{1} << 12,
                                 std::uint64_t{1} << 18}) {

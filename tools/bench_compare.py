@@ -13,11 +13,20 @@ Comparison rules:
   * kind "count"  — exact match.  These are simulator-deterministic
     (exchanges, elements sent, heap allocations, spans recorded), so any
     drift is a behaviour change, not noise.
-  * kind "time"   — current may not REGRESS past baseline*(1+tol).
-    Improvements and noise in the faster direction always pass.  The
-    default tolerance is deliberately loose (50%) because simulated
-    times are calibrated but CI hosts are shared; tighten with
-    --time-tol once a runner is dedicated.
+  * kind "time"   — current may not REGRESS past
+    max(baseline*(1+tol), baseline + eps).  Improvements and noise in
+    the faster direction always pass.  The default tolerance is
+    deliberately loose (50%) because simulated times are calibrated but
+    CI hosts are shared; tighten with --time-tol once a runner is
+    dedicated.  The absolute epsilon floor (--time-eps, in the metric's
+    own unit) exists for zero and near-zero baselines: a relative bound
+    alone collapses to `limit = 0` when the baseline is 0, so ANY
+    positive measurement — however tiny — failed with a nonsensical
+    "+inf%" regression.
+  * a non-finite value (JSON null, NaN, or Infinity) on either side is
+    a hard failure — bench_report.cpp writes non-finite metrics as null
+    precisely so this gate can refuse them instead of letting a NaN
+    comparison silently pass.
   * a metric present in the baseline but missing from the current run
     is an error (a silently dropped benchmark reads as "no regression").
     New metrics in the current run are reported but pass — the baseline
@@ -29,6 +38,7 @@ No third-party imports; runs on a stock python3.
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -42,28 +52,23 @@ def load_report(path):
         sys.exit(f"bench_compare: {path}: unexpected schema {doc.get('schema')!r}")
     metrics = {}
     for m in doc.get("metrics", []):
-        metrics[m["name"]] = (m.get("kind", "time"), float(m["value"]))
+        raw = m["value"]
+        # bench_report.cpp emits non-finite values as null; keep them as
+        # NaN so the comparison loop can fail them explicitly rather
+        # than crashing here (the metric NAME belongs in the report).
+        value = float("nan") if raw is None else float(raw)
+        metrics[m["name"]] = (m.get("kind", "time"), value)
     return doc.get("name", "?"), metrics
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--time-tol", type=float, default=0.5,
-                    help="max allowed relative regression for kind=time "
-                         "metrics (default 0.5 = +50%%)")
-    ap.add_argument("--counts-only", action="store_true",
-                    help="skip time comparisons entirely (for sanitizer "
-                         "legs where wall/simulated times are meaningless)")
-    args = ap.parse_args()
+def time_limit(bval, tol, eps):
+    """Regression threshold for a time metric: relative bound with an
+    absolute floor so zero/near-zero baselines keep a usable budget."""
+    return max(bval * (1.0 + tol), bval + eps)
 
-    base_name, base = load_report(args.baseline)
-    cur_name, cur = load_report(args.current)
-    if base_name != cur_name:
-        print(f"bench_compare: WARNING: comparing report '{cur_name}' "
-              f"against baseline '{base_name}'")
 
+def compare(base, cur, time_tol, time_eps, counts_only):
+    """Compare metric dicts; returns (failures, compared, skipped)."""
     failures = []
     compared = skipped = 0
     for name, (kind, bval) in sorted(base.items()):
@@ -74,20 +79,53 @@ def main():
         if ckind != kind:
             failures.append(f"KIND     {name}: baseline={kind} current={ckind}")
             continue
+        if not math.isfinite(bval) or not math.isfinite(cval):
+            failures.append(f"NONFINITE {name}: baseline={bval} current={cval} "
+                            "(null/NaN metric — the producing benchmark is broken)")
+            continue
         if kind == "count":
             compared += 1
             if cval != bval:
                 failures.append(f"COUNT    {name}: baseline={bval:g} current={cval:g}")
         else:
-            if args.counts_only:
+            if counts_only:
                 skipped += 1
                 continue
             compared += 1
-            limit = bval * (1.0 + args.time_tol)
+            limit = time_limit(bval, time_tol, time_eps)
             if cval > limit:
-                rel = (cval - bval) / bval if bval else float("inf")
+                rel = (cval - bval) / bval if bval else math.inf
                 failures.append(f"TIME     {name}: baseline={bval:g} "
-                                f"current={cval:g} (+{rel:.0%} > +{args.time_tol:.0%})")
+                                f"current={cval:g} (+{rel:.0%} > +{time_tol:.0%}, "
+                                f"limit={limit:g})")
+    return failures, compared, skipped
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--time-tol", type=float, default=0.5,
+                    help="max allowed relative regression for kind=time "
+                         "metrics (default 0.5 = +50%%)")
+    ap.add_argument("--time-eps", type=float, default=0.5,
+                    help="absolute regression floor for kind=time metrics, "
+                         "in the metric's own unit (default 0.5); keeps "
+                         "zero-baseline metrics from failing on any "
+                         "positive measurement")
+    ap.add_argument("--counts-only", action="store_true",
+                    help="skip time comparisons entirely (for sanitizer "
+                         "legs where wall/simulated times are meaningless)")
+    args = ap.parse_args(argv)
+
+    base_name, base = load_report(args.baseline)
+    cur_name, cur = load_report(args.current)
+    if base_name != cur_name:
+        print(f"bench_compare: WARNING: comparing report '{cur_name}' "
+              f"against baseline '{base_name}'")
+
+    failures, compared, skipped = compare(base, cur, args.time_tol,
+                                          args.time_eps, args.counts_only)
 
     new = sorted(set(cur) - set(base))
     for name in new:
@@ -95,7 +133,7 @@ def main():
 
     print(f"bench_compare[{cur_name}]: {compared} compared, {skipped} skipped, "
           f"{len(new)} new, {len(failures)} failures "
-          f"(time tol +{args.time_tol:.0%})")
+          f"(time tol +{args.time_tol:.0%}, eps {args.time_eps:g})")
     if failures:
         for f in failures:
             print("  " + f)

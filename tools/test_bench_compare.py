@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench_compare.py regression gate.
+
+Run directly (`python3 tools/test_bench_compare.py`) or through ctest
+(registered as bench_compare_selftest).  Pins the two report-path bug
+fixes: the zero-baseline time limit and the non-finite metric refusal.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def report(metrics, name="t"):
+    return {"schema": "bsort-bench-v1", "name": name,
+            "metrics": [{"name": n, "kind": k, "unit": "us", "value": v}
+                        for (n, k, v) in metrics]}
+
+
+def run_main(base, cur, *extra):
+    """Write two reports to temp files and run bench_compare.main."""
+    with tempfile.TemporaryDirectory() as d:
+        bpath = os.path.join(d, "base.json")
+        cpath = os.path.join(d, "cur.json")
+        with open(bpath, "w") as f:
+            json.dump(base, f)
+        with open(cpath, "w") as f:
+            json.dump(cur, f)
+        return bench_compare.main([bpath, cpath, *extra])
+
+
+class TimeLimitTest(unittest.TestCase):
+    def test_relative_bound_dominates_for_large_baselines(self):
+        self.assertEqual(bench_compare.time_limit(100.0, 0.5, 0.5), 150.0)
+
+    def test_zero_baseline_gets_absolute_floor(self):
+        # The original bug: limit = 0*(1+tol) = 0, so ANY positive
+        # current value failed with "+inf%".
+        self.assertEqual(bench_compare.time_limit(0.0, 0.5, 0.5), 0.5)
+
+    def test_near_zero_baseline_gets_absolute_floor(self):
+        # 0.01us baseline: relative bound alone allows only 0.015us.
+        self.assertEqual(bench_compare.time_limit(0.01, 0.5, 0.5), 0.51)
+
+
+class CompareTest(unittest.TestCase):
+    def cmp(self, base, cur, **kw):
+        return bench_compare.compare(base, cur, kw.get("tol", 0.5),
+                                     kw.get("eps", 0.5),
+                                     kw.get("counts_only", False))
+
+    def test_zero_baseline_small_current_passes(self):
+        base = {"m": ("time", 0.0)}
+        cur = {"m": ("time", 0.3)}
+        failures, compared, _ = self.cmp(base, cur)
+        self.assertEqual(failures, [])
+        self.assertEqual(compared, 1)
+
+    def test_zero_baseline_large_current_still_fails(self):
+        base = {"m": ("time", 0.0)}
+        cur = {"m": ("time", 10.0)}
+        failures, _, _ = self.cmp(base, cur)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("TIME", failures[0])
+
+    def test_regression_past_relative_bound_fails(self):
+        base = {"m": ("time", 100.0)}
+        cur = {"m": ("time", 151.0)}
+        failures, _, _ = self.cmp(base, cur)
+        self.assertEqual(len(failures), 1)
+
+    def test_improvement_passes(self):
+        base = {"m": ("time", 100.0)}
+        cur = {"m": ("time", 1.0)}
+        failures, _, _ = self.cmp(base, cur)
+        self.assertEqual(failures, [])
+
+    def test_nonfinite_current_fails(self):
+        base = {"m": ("time", 1.0)}
+        cur = {"m": ("time", float("nan"))}
+        failures, _, _ = self.cmp(base, cur)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("NONFINITE", failures[0])
+
+    def test_nonfinite_count_fails_not_passes(self):
+        # NaN != NaN would have *failed* a count by accident, but a NaN
+        # that EQUALS the baseline after round-trip (null -> nan) must
+        # not pass either; both sides nan is still a hard failure.
+        base = {"m": ("count", float("nan"))}
+        cur = {"m": ("count", float("nan"))}
+        failures, _, _ = self.cmp(base, cur)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("NONFINITE", failures[0])
+
+    def test_missing_metric_fails(self):
+        base = {"m": ("time", 1.0)}
+        failures, _, _ = self.cmp(base, {})
+        self.assertEqual(len(failures), 1)
+        self.assertIn("MISSING", failures[0])
+
+    def test_counts_only_skips_times_but_not_counts(self):
+        base = {"t": ("time", 1.0), "c": ("count", 5.0)}
+        cur = {"t": ("time", 99.0), "c": ("count", 6.0)}
+        failures, compared, skipped = self.cmp(base, cur, counts_only=True)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("COUNT", failures[0])
+        self.assertEqual(skipped, 1)
+        self.assertEqual(compared, 1)
+
+
+class EndToEndTest(unittest.TestCase):
+    def test_null_value_from_writer_is_rejected(self):
+        # bench_report.cpp writes NaN/Inf metrics as JSON null; the gate
+        # must fail, not crash or pass.
+        base = report([("m", "time", 1.0)])
+        cur = report([("m", "time", None)])
+        self.assertEqual(run_main(base, cur), 1)
+
+    def test_identical_reports_pass(self):
+        r = report([("m", "time", 1.0), ("n", "count", 3)])
+        self.assertEqual(run_main(r, r), 0)
+
+    def test_zero_baseline_regression_message_has_limit(self):
+        base = report([("m", "time", 0.0)])
+        cur = report([("m", "time", 2.0)])
+        self.assertEqual(run_main(base, cur), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
