@@ -19,15 +19,13 @@ void naive_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
 
   for (int stage = 1; stage <= log_N; ++stage) {
     obs::ScopedSpan stage_span(p, obs::SpanKind::kMergeStage, stage);
-    for (int step = stage; step >= 1; --step) {
+    // Under the blocked layout the remote steps (compare bit >= lg n)
+    // lead each stage and the local steps trail it; the trailing run is
+    // executed as ONE batched call so local_network_steps can fuse its
+    // low-stride columns into single multi-step kernel sweeps.
+    const int first_local = std::min(stage, log_n);
+    for (int step = stage; step > first_local; --step) {
       const int abs_bit = step - 1;
-      if (abs_bit < log_n) {
-        // Local compare-exchange step.
-        p.timed(simd::Phase::kCompute, [&] {
-          localsort::local_network_step(blocked, rank, keys, stage, step);
-        });
-        continue;
-      }
       // Remote step: exchange the whole block with the partner differing
       // in rank bit (abs_bit - lg n), keep the min or max half.
       const int rank_bit = abs_bit - log_n;
@@ -55,6 +53,12 @@ void naive_blocked_sort(simd::Proc& p, std::span<std::uint32_t> keys) {
         } else {
           K.keep_max(keys.data(), other.data(), keys.size());
         }
+      });
+    }
+    if (first_local >= 1) {
+      p.timed(simd::Phase::kCompute, [&] {
+        localsort::local_network_steps(blocked, rank, keys, stage, first_local,
+                                       first_local);
       });
     }
   }

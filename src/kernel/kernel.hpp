@@ -9,19 +9,23 @@
 //   * "scalar" — portable branchless C++ (always available, and the
 //     ground truth the differential tests compare against),
 //   * "sse"    — 4-wide SSE4.1 min/max paths,
-//   * "avx2"   — 8-wide AVX2 min/max plus hardware gathers.
+//   * "avx2"   — 8-wide AVX2 min/max plus hardware gathers,
+//   * "avx512" — 16-wide masked min/max, conflict-detection histograms,
+//     hardware gather/scatter, and a register-blocked fused multi-step
+//     compare-exchange (requires AVX-512 F+BW+CD).
 //
 // The active table is selected ONCE, at first use, by CPUID-based
 // runtime dispatch (best supported variant wins).  The environment
-// variable BSORT_KERNEL=scalar|sse|avx2 overrides the choice for
-// testing; an override naming an unsupported or unknown variant falls
-// back to auto-detection.  Callers grab `kernel::active()` (a cheap
-// atomic pointer load) and invoke through the table; no per-call CPUID.
+// variable BSORT_KERNEL=scalar|sse|avx2|avx512 overrides the choice
+// for testing; an override naming an unsupported or unknown variant
+// falls back to auto-detection with a once-per-process stderr warning.
+// Callers grab `kernel::active()` (a cheap atomic pointer load) and
+// invoke through the table; no per-call CPUID.
 //
-// Histogram and scatter entries currently share the scalar
-// implementation in every table (histogram increments and scattered
-// stores do not vectorize profitably on x86 without AVX-512), but they
-// live in the table so a future variant can override them.
+// Histogram and scatter entries share the scalar implementation in the
+// sse/avx2 tables (histogram increments and scattered stores do not
+// vectorize profitably on x86 below AVX-512); the avx512 table
+// overrides them with conflict-detection and scatter forms.
 #pragma once
 
 #include <cstddef>
@@ -67,14 +71,35 @@ struct Kernels {
   /// Unpack scatter: dst[idx[j] | pat] = src[j] for j in [0, n).
   void (*scatter_idx)(std::uint32_t* dst, const std::uint32_t* idx,
                       std::uint32_t pat, const std::uint32_t* src, std::size_t n);
+
+  /// Fused multi-step compare-exchange: execute `count` bitonic network
+  /// columns IN ORDER over `data` in one sweep.  Column i
+  /// compare-exchanges element l with element l | (1 << pos[i]); the
+  /// merge direction of element l is `const_ascending` when dir_pos < 0,
+  /// else ascending iff bit dir_pos of l is clear (dir_pos never equals
+  /// any pos[i] — the direction bit of a stage is above every compare
+  /// bit of that stage's steps).  Contract: n is a power of two,
+  /// every pos[i] <= kMaxFusedPos, and n > (1 << pos[i]) for all i.
+  /// SIMD variants load each tile of 2^(max pos + 1) elements once, run
+  /// all `count` columns register/L1-blocked, and store once — turning
+  /// `count` memory sweeps into one.
+  void (*cmpex_multistep)(std::uint32_t* data, std::size_t n, const int* pos,
+                          int count, int dir_pos, bool const_ascending);
 };
+
+/// Largest compare-bit position cmpex_multistep accepts: tiles are
+/// 2^(kMaxFusedPos+1) elements (1 KB) at most, sized to stay resident
+/// in registers + L1 across every fused column.  Callers run columns
+/// with larger strides one at a time (those are long contiguous
+/// streaming passes already) and fuse the rest.
+inline constexpr int kMaxFusedPos = 7;
 
 /// Every variant compiled into this binary, scalar first.  Presence in
 /// this list does not imply the host CPU can run it — check supported().
 std::span<const Kernels* const> variants();
 
-/// Variant by name ("scalar", "sse", "avx2"); nullptr if unknown or not
-/// compiled for this architecture.
+/// Variant by name ("scalar", "sse", "avx2", "avx512"); nullptr if
+/// unknown or not compiled for this architecture.
 const Kernels* by_name(std::string_view name);
 
 /// True iff the host CPU can execute this variant.

@@ -76,6 +76,111 @@ void avx2_gather_idx(std::uint32_t* dst, const std::uint32_t* src,
   for (; j < n; ++j) dst[j] = src[idx[j] | pat];
 }
 
+namespace {
+
+/// Per-lane 0/-1 mask of the "upper" element of each compare pair for an
+/// in-register stride (1, 2 or 4 lanes): lane j is upper iff bit
+/// log2(stride) of j is set.
+__m256i upper_mask8(int pos) {
+  switch (pos) {
+    case 0: return _mm256_setr_epi32(0, -1, 0, -1, 0, -1, 0, -1);
+    case 1: return _mm256_setr_epi32(0, 0, -1, -1, 0, 0, -1, -1);
+    default: return _mm256_setr_epi32(0, 0, 0, 0, -1, -1, -1, -1);
+  }
+}
+
+/// Partner of every lane at an in-register stride: lane j's value is
+/// replaced by lane j ^ stride's.
+__m256i partner8(__m256i v, int pos) {
+  switch (pos) {
+    case 0: return _mm256_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1));
+    case 1: return _mm256_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2));
+    default: return _mm256_permute2x128_si256(v, v, 0x01);
+  }
+}
+
+/// 0/-1 ascending mask for the 8 elements starting at global index
+/// `base`: dir_pos < 0 = constant, dir_pos < 3 = fixed per-lane pattern,
+/// else constant across the chunk.
+__m256i asc_mask8(std::size_t base, int dir_pos, bool const_ascending) {
+  if (dir_pos < 0) return _mm256_set1_epi32(const_ascending ? -1 : 0);
+  if (dir_pos < 3) {
+    const __m256i lanes = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256i bit = _mm256_and_si256(
+        _mm256_srlv_epi32(lanes, _mm256_set1_epi32(dir_pos)), _mm256_set1_epi32(1));
+    return _mm256_cmpeq_epi32(bit, _mm256_setzero_si256());
+  }
+  return _mm256_set1_epi32(((base >> dir_pos) & 1) == 0 ? -1 : 0);
+}
+
+}  // namespace
+
+// Fused multi-step compare-exchange (see kernel.hpp): tiles of
+// 2^(max pos + 1) <= 256 elements stay L1-hot across every column;
+// columns with stride < 8 additionally fuse into a single
+// load-once/store-once register pass per maximal run.
+void avx2_cmpex_multistep(std::uint32_t* data, std::size_t n, const int* pos,
+                          int count, int dir_pos, bool const_ascending) {
+  if (count <= 0 || n == 0) return;
+  if (n < 8) {
+    scalar_cmpex_multistep(data, n, pos, count, dir_pos, const_ascending);
+    return;
+  }
+  int max_pos = pos[0];
+  for (int i = 1; i < count; ++i) max_pos = std::max(max_pos, pos[i]);
+  // Tile at least 256 elements (1 KB): pairs stay inside a tile because
+  // every stride 2^pos[i] <= 2^(max_pos+1) <= tile and tiles are
+  // tile-aligned.
+  const std::size_t tile = std::min<std::size_t>(
+      n, std::max<std::size_t>(std::size_t{2} << max_pos, 256));
+
+  for (std::size_t base = 0; base < n; base += tile) {
+    int i = 0;
+    while (i < count) {
+      if (pos[i] >= 3) {
+        // Cross-chunk column: one pass of 8-lane pair blocks over the tile.
+        const std::size_t half = std::size_t{1} << pos[i];
+        for (std::size_t off = 0; off < tile; off += 8) {
+          if ((off & half) != 0) continue;
+          std::uint32_t* lo = data + base + off;
+          std::uint32_t* hi = lo + half;
+          const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo));
+          const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi));
+          const __m256i vmin = _mm256_min_epu32(va, vb);
+          const __m256i vmax = _mm256_max_epu32(va, vb);
+          const __m256i asc = asc_mask8(base + off, dir_pos, const_ascending);
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo),
+                              _mm256_blendv_epi8(vmax, vmin, asc));
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(hi),
+                              _mm256_blendv_epi8(vmin, vmax, asc));
+        }
+        ++i;
+      } else {
+        // Maximal run of in-register columns: load each chunk once,
+        // apply every column of the run, store once.
+        int j = i;
+        while (j < count && pos[j] < 3) ++j;
+        for (std::size_t off = 0; off < tile; off += 8) {
+          __m256i v =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + base + off));
+          const __m256i asc = asc_mask8(base + off, dir_pos, const_ascending);
+          for (int s = i; s < j; ++s) {
+            const __m256i p = partner8(v, pos[s]);
+            const __m256i vmin = _mm256_min_epu32(v, p);
+            const __m256i vmax = _mm256_max_epu32(v, p);
+            // Lane takes the max iff it is the upper element of an
+            // ascending pair or the lower element of a descending one.
+            const __m256i take_max = _mm256_cmpeq_epi32(upper_mask8(pos[s]), asc);
+            v = _mm256_blendv_epi8(vmin, vmax, take_max);
+          }
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(data + base + off), v);
+        }
+        i = j;
+      }
+    }
+  }
+}
+
 }  // namespace bsort::kernel::detail
 
 #endif  // BSORT_KERNEL_X86

@@ -1,5 +1,7 @@
 #include "localsort/compare_exchange.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "kernel/kernel.hpp"
@@ -62,11 +64,61 @@ void local_network_step(const layout::BitLayout& lay, std::uint64_t rank,
   }
 }
 
+// Multi-step execution batches runs of columns into fused kernel
+// sweeps.  All steps of one stage share one direction rule (the
+// direction bit is absolute bit `stage`, above every compare bit of the
+// stage), so any contiguous run of steps within a stage whose compare
+// positions fit the fused tile (<= kernel::kMaxFusedPos) maps onto ONE
+// cmpex_multistep call: the kernel loads each tile once, runs every
+// column register/L1-blocked, and stores once.  Larger-stride columns
+// run one at a time — those are long contiguous streaming passes
+// already.  The single-step path above is the differential ground truth
+// (tests force the scalar kernel through it and compare).
 void local_network_steps(const layout::BitLayout& lay, std::uint64_t rank,
                          std::span<std::uint32_t> data, int stage, int step, int count) {
-  for (int i = 0; i < count; ++i) {
-    local_network_step(lay, rank, data, stage, step);
-    --step;
+  const auto& K = kernel::active();
+  std::array<int, 64> pos_buf;
+  while (count > 0) {
+    const int run = std::min(step, count);  // steps left in this stage
+    for (int i = 0; i < run; ++i) {
+      pos_buf[static_cast<std::size_t>(i)] = lay.local_pos_of(step - 1 - i);
+      assert(pos_buf[static_cast<std::size_t>(i)] >= 0 &&
+             "compare bit must be local under this layout");
+    }
+    // Direction rule for the whole stage (same derivation as
+    // local_network_step).
+    int dir_pos = -1;
+    bool const_ascending = true;
+    if (stage < lay.log_total()) {
+      if (lay.is_local_bit(stage)) {
+        dir_pos = lay.local_pos_of(stage);
+      } else {
+        const_ascending = util::bit(lay.abs_of(rank, 0), stage) == 0;
+      }
+    }
+    int i = 0;
+    while (i < run) {
+      if (pos_buf[static_cast<std::size_t>(i)] > kernel::kMaxFusedPos) {
+        local_network_step(lay, rank, data, stage, step - i);
+        ++i;
+        continue;
+      }
+      int j = i + 1;
+      while (j < run && pos_buf[static_cast<std::size_t>(j)] <= kernel::kMaxFusedPos) {
+        ++j;
+      }
+      if (j - i == 1) {
+        // A lone fusible column: the block-oriented single-step path is
+        // at least as good (contiguous cmpex_blocks calls).
+        local_network_step(lay, rank, data, stage, step - i);
+      } else {
+        K.cmpex_multistep(data.data(), data.size(), pos_buf.data() + i, j - i,
+                          dir_pos, const_ascending);
+      }
+      i = j;
+    }
+    count -= run;
+    step -= run;
     if (step == 0) {
       ++stage;
       step = stage;

@@ -20,7 +20,11 @@ void local_network_step(const layout::BitLayout& lay, std::uint64_t rank,
 /// Execute `count` consecutive network steps starting at (stage, step),
 /// advancing across stage boundaries (step s of stage k is followed by
 /// step s-1, and step 1 by step k+1 of stage k+1).  All compare bits must
-/// be local under `lay`.
+/// be local under `lay`.  Runs of same-stage columns whose compare
+/// positions fit the fused tile are batched into single
+/// kernel::cmpex_multistep sweeps (one load/store of the array for the
+/// whole run instead of one per column); the result is bit-identical to
+/// executing the steps one at a time via local_network_step.
 void local_network_steps(const layout::BitLayout& lay, std::uint64_t rank,
                          std::span<std::uint32_t> data, int stage, int step, int count);
 

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "kernel/kernel.hpp"
 #include "layout/bit_layout.hpp"
 #include "net/network.hpp"
 #include "schedule/smart_schedule.hpp"
@@ -83,6 +84,104 @@ TEST(CompareExchange, SmartLayoutsAlongSchedule) {
       }
     }
   }
+}
+
+/// Fused multi-step execution must be bit-identical to the single-step
+/// scalar path for EVERY kernel variant, every layout, and every window
+/// — including windows that cross stage boundaries and windows whose
+/// compare positions straddle the fused-tile limit.  This is the
+/// differential ground truth the tentpole optimization is validated
+/// against.
+void check_fused_vs_single(const BitLayout& lay) {
+  struct ActiveGuard {
+    ~ActiveGuard() { kernel::set_active_for_testing(nullptr); }
+  } guard;
+  const std::uint64_t N = std::uint64_t{1} << lay.log_total();
+  const int stages = lay.log_total();
+  // Every (stage, step, count) window whose compare bits are all local.
+  for (int stage = 1; stage <= stages; ++stage) {
+    for (int step = stage; step >= 1; --step) {
+      // Longest run of consecutive local steps starting at (stage, step),
+      // walking across stage boundaries exactly like local_network_steps.
+      int max_count = 0;
+      {
+        int st = stage, sp = step;
+        while (max_count < 2 * stages) {
+          if (sp - 1 >= lay.log_total() || !lay.is_local_bit(sp - 1)) break;
+          ++max_count;
+          --sp;
+          if (sp == 0) {
+            ++st;
+            if (st > stages) break;
+            sp = st;
+          }
+        }
+      }
+      for (int count = 1; count <= max_count; ++count) {
+        auto full = util::generate_keys(
+            N, util::KeyDistribution::kUniform31,
+            N + static_cast<std::uint64_t>(stage * 64 + step));
+        auto views = scatter(full, lay);
+        // Ground truth: scalar kernel, one step at a time.
+        auto expect = views;
+        kernel::set_active_for_testing(kernel::by_name("scalar"));
+        for (std::uint64_t pr = 0; pr < expect.size(); ++pr) {
+          int st = stage, sp = step;
+          for (int i = 0; i < count; ++i) {
+            local_network_step(
+                lay, pr, std::span<std::uint32_t>(expect[pr].data(), expect[pr].size()),
+                st, sp);
+            --sp;
+            if (sp == 0) {
+              ++st;
+              sp = st;
+            }
+          }
+        }
+        for (const kernel::Kernels* k : kernel::variants()) {
+          if (!kernel::supported(*k)) continue;
+          kernel::set_active_for_testing(k);
+          auto got = views;
+          for (std::uint64_t pr = 0; pr < got.size(); ++pr) {
+            local_network_steps(
+                lay, pr, std::span<std::uint32_t>(got[pr].data(), got[pr].size()),
+                stage, step, count);
+          }
+          ASSERT_EQ(got, expect) << k->name << " stage=" << stage
+                                 << " step=" << step << " count=" << count;
+        }
+      }
+    }
+  }
+}
+
+TEST(CompareExchange, FusedMultiStepBlockedLayouts) {
+  check_fused_vs_single(BitLayout::blocked(4, 1));
+  check_fused_vs_single(BitLayout::blocked(5, 2));
+}
+
+TEST(CompareExchange, FusedMultiStepCyclicLayouts) {
+  check_fused_vs_single(BitLayout::cyclic(4, 2));
+  check_fused_vs_single(BitLayout::cyclic(5, 1));
+}
+
+TEST(CompareExchange, FusedMultiStepSmartLayouts) {
+  for (auto [log_n, log_p] : {std::pair{4, 2}, {3, 3}}) {
+    const auto sched = schedule::make_smart_schedule(log_n, log_p);
+    for (const auto& phase : sched.remaps) {
+      check_fused_vs_single(phase.layout);
+      if (phase.params.kind == layout::SmartKind::kCrossing) {
+        check_fused_vs_single(layout::BitLayout::smart_phase2(log_n, log_p, phase.params));
+      }
+    }
+  }
+}
+
+TEST(CompareExchange, FusedMultiStepLargeLocalArray) {
+  // A local array well past the 256-element fused tile (2^10 keys per
+  // processor): windows mix beyond-tile strides (run singly) with
+  // fusible low strides, and the tile loop walks multiple tiles.
+  check_fused_vs_single(BitLayout::blocked(10, 1));
 }
 
 TEST(CompareExchange, MultiStepWalkMatchesReference) {

@@ -24,6 +24,7 @@
 #include "localsort/radix_sort.hpp"
 #include "net/network.hpp"
 #include "test_helpers.hpp"
+#include "util/bits.hpp"
 #include "util/random.hpp"
 
 namespace bsort::kernel {
@@ -73,6 +74,24 @@ TEST(KernelDispatch, AutoPicksStrongestSupported) {
     if (std::string_view(k->name) != "scalar") {
       EXPECT_STRNE(autod.name, "scalar");
     }
+  }
+}
+
+TEST(KernelDispatch, Avx512OverrideFallsBackWhereUnsupported) {
+  // BSORT_KERNEL=avx512 must resolve to the avx512 table exactly when
+  // the host can run it, and fall back to auto-detection (not crash,
+  // not latch an unrunnable table) everywhere else — the case an
+  // AVX2-only CI runner exercises.
+  const Kernels* k = by_name("avx512");
+#ifdef __x86_64__
+  ASSERT_NE(k, nullptr) << "avx512 variant must be compiled on x86-64";
+#endif
+  const Kernels& resolved = resolve("avx512");
+  if (k != nullptr && supported(*k)) {
+    EXPECT_STREQ(resolved.name, "avx512");
+  } else {
+    EXPECT_STREQ(resolved.name, resolve(nullptr).name);
+    EXPECT_TRUE(supported(resolved));
   }
 }
 
@@ -192,7 +211,74 @@ TEST(KernelDifferential, GatherScatterIdx) {
   }
 }
 
-// ---- integrated differential checks (force each variant end-to-end) --
+// Independent reference for cmpex_multistep: one column at a time, one
+// pair at a time, direction recomputed per element from first
+// principles.
+void reference_multistep(std::vector<std::uint32_t>& data, const int* pos,
+                         int count, int dir_pos, bool const_ascending) {
+  for (int i = 0; i < count; ++i) {
+    const std::size_t half = std::size_t{1} << pos[i];
+    for (std::size_t l = 0; l < data.size(); ++l) {
+      if ((l & half) != 0) continue;
+      const bool asc =
+          dir_pos >= 0 ? ((l >> dir_pos) & 1) == 0 : const_ascending;
+      const std::size_t lp = l | half;
+      if ((data[l] > data[lp]) == asc) std::swap(data[l], data[lp]);
+    }
+  }
+}
+
+TEST(KernelDifferential, CmpexMultistep) {
+  util::SplitMix64 rng(4242);
+  // Power-of-two sizes below, at, and above the 256-element fused tile,
+  // including sizes below the 8/16-lane SIMD widths (scalar fallback
+  // paths) and sizes where n is not a multiple of the max 256 tile.
+  for (const std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{8},
+                              std::size_t{16}, std::size_t{32}, std::size_t{64},
+                              std::size_t{128}, std::size_t{256}, std::size_t{512},
+                              std::size_t{8192}}) {
+    const int log_n = static_cast<int>(util::ilog2(n));
+    const int max_pos = std::min(log_n - 1, kMaxFusedPos);
+    for (int round = 0; round < 12; ++round) {
+      // Random column sequence: descending runs (the schedule shape),
+      // plus fully shuffled orders to pin the in-order contract.
+      const int count = 1 + static_cast<int>(rng.next() % static_cast<std::uint64_t>(
+                                                 max_pos + 1));
+      std::vector<int> pos(static_cast<std::size_t>(count));
+      if (round % 2 == 0) {
+        for (int i = 0; i < count; ++i) pos[static_cast<std::size_t>(i)] = max_pos - i >= 0 ? max_pos - i : 0;
+      } else {
+        for (int i = 0; i < count; ++i) {
+          pos[static_cast<std::size_t>(i)] = static_cast<int>(
+              rng.next() % static_cast<std::uint64_t>(max_pos + 1));
+        }
+      }
+      // Direction: constant ascending, constant descending, and a
+      // direction bit at every position not used as a compare bit —
+      // below, inside, and above the tile.
+      std::vector<std::pair<int, bool>> dirs = {{-1, true}, {-1, false}};
+      for (int d = 0; d < log_n; ++d) {
+        if (std::find(pos.begin(), pos.end(), d) == pos.end()) {
+          dirs.emplace_back(d, true);
+        }
+      }
+      for (const auto& [dir_pos, asc] : dirs) {
+        const auto input = util::generate_keys(
+            n, util::KeyDistribution::kUniform31,
+            n * 31 + static_cast<std::size_t>(round) * 7 + 1);
+        auto expect = input;
+        reference_multistep(expect, pos.data(), count, dir_pos, asc);
+        for (const Kernels* k : runnable_variants()) {
+          auto got = input;
+          k->cmpex_multistep(got.data(), n, pos.data(), count, dir_pos, asc);
+          ASSERT_EQ(got, expect)
+              << k->name << " n=" << n << " count=" << count
+              << " dir_pos=" << dir_pos << " asc=" << asc << " round=" << round;
+        }
+      }
+    }
+  }
+}
 
 TEST(KernelIntegrated, RadixSortEveryVariant) {
   ActiveGuard guard;
