@@ -5,6 +5,7 @@
 
 #include "fault/error.hpp"
 #include "fault/plan.hpp"
+#include "localsort/radix_sort.hpp"
 #include "psort/column_sort.hpp"
 #include "psort/psort.hpp"
 #include "util/bits.hpp"
@@ -42,10 +43,14 @@ Fingerprint fingerprint(const std::vector<std::uint32_t>& keys) {
   return f;
 }
 
+inline constexpr std::size_t kNoItem = static_cast<std::size_t>(-1);
+
 /// Sortedness + permutation check; reports the first diverging VP (or
-/// VP boundary) so a failure localizes the broken exchange.
+/// VP boundary) so a failure localizes the broken exchange.  `item`
+/// names the batch item in a batched run (kNoItem for a single sort).
 void self_check_output(const std::vector<std::uint32_t>& keys,
-                       const Fingerprint& before, std::size_t keys_per_proc) {
+                       const Fingerprint& before, std::size_t keys_per_proc,
+                       std::size_t item = kNoItem) {
   for (std::size_t i = 0; i + 1 < keys.size(); ++i) {
     if (keys[i] <= keys[i + 1]) continue;
     const std::size_t vp = keys_per_proc == 0 ? 0 : i / keys_per_proc;
@@ -59,12 +64,15 @@ void self_check_output(const std::vector<std::uint32_t>& keys,
     } else {
       os << vp;
     }
+    if (item != kNoItem) os << " (batch item " << item << ")";
     throw IntegrityError(os.str(), {static_cast<int>(vp), -1, -1});
   }
   if (fingerprint(keys) == before) return;
   std::ostringstream os;
   os << "self-check: output is not a permutation of the input (" << keys.size()
-     << " keys; multiset fingerprint mismatch)";
+     << " keys; multiset fingerprint mismatch";
+  if (item != kNoItem) os << "; batch item " << item;
+  os << ")";
   throw IntegrityError(os.str());
 }
 
@@ -90,32 +98,61 @@ std::string_view algorithm_name(Algorithm a) {
   return "?";
 }
 
-bool config_valid(const Config& config, std::size_t total_keys) {
-  if (config.nprocs < 1 || !util::is_pow2(static_cast<std::uint64_t>(config.nprocs))) {
-    return false;
+std::string config_invalid_reason(const Config& config, std::size_t total_keys) {
+  const auto P = static_cast<std::uint64_t>(config.nprocs);
+  std::ostringstream os;
+  if (config.nprocs < 1 || !util::is_pow2(P)) {
+    os << "nprocs must be a positive power of two (got " << config.nprocs << ")";
+    return os.str();
   }
   // Zero keys are trivially sortable by every algorithm (parallel_sort
   // runs a no-op program), so only the machine shape matters.
-  if (total_keys == 0) return true;
-  if (!util::is_pow2(total_keys)) return false;
-  if (total_keys % static_cast<std::size_t>(config.nprocs) != 0) return false;
-  const std::uint64_t n = total_keys / static_cast<std::size_t>(config.nprocs);
+  if (total_keys == 0) return {};
+  if (!util::is_pow2(total_keys)) {
+    os << "total key count must be a power of two (got " << total_keys
+       << " keys; the bitonic network is defined on 2^k inputs)";
+    return os.str();
+  }
+  if (total_keys % P != 0) {
+    os << "total key count " << total_keys << " is smaller than P=" << config.nprocs
+       << " (keys are scattered n = N/P per VP; need N >= P)";
+    return os.str();
+  }
+  const std::uint64_t n = total_keys / P;
   switch (config.algorithm) {
     case Algorithm::kSmartBitonic:
       // With P > 1 the schedule needs lg n >= 1; a single processor
       // degenerates to one local sort, which handles any n.
-      return n >= 2 || config.nprocs == 1;
+      if (n >= 2 || config.nprocs == 1) return {};
+      os << "smart bitonic needs n >= 2 keys per VP when P > 1 (the schedule "
+            "requires lg n >= 1); got n=" << n << " with " << total_keys
+         << " keys on P=" << config.nprocs << " — need at least " << 2 * P
+         << " total keys";
+      return os.str();
     case Algorithm::kCyclicBlockedBitonic:
-      return n >= static_cast<std::uint64_t>(config.nprocs);  // N >= P^2
+      if (n >= P) return {};  // N >= P^2
+      os << "cyclic-blocked bitonic needs n >= P, i.e. N >= P^2 (got n=" << n
+         << " keys per VP with " << total_keys << " keys on P=" << config.nprocs
+         << " — need at least " << P * P << " total keys)";
+      return os.str();
     case Algorithm::kBlockedMergeBitonic:
     case Algorithm::kNaiveBitonic:
     case Algorithm::kParallelRadix:
     case Algorithm::kSampleSort:
-      return n >= 1;
+      return {};  // n >= 1 holds: total_keys is a positive multiple of P
     case Algorithm::kColumnSort:
-      return psort::column_sort_shape_ok(n, static_cast<std::uint64_t>(config.nprocs));
+      if (psort::column_sort_shape_ok(n, P)) return {};
+      os << "column sort shape constraint failed: needs P | n and n >= 2(P-1)^2 "
+            "(got n=" << n << " keys per VP with " << total_keys << " keys on P="
+         << config.nprocs << ")";
+      return os.str();
   }
-  return false;
+  os << "unknown algorithm";
+  return os.str();
+}
+
+bool config_valid(const Config& config, std::size_t total_keys) {
+  return config_invalid_reason(config, total_keys).empty();
 }
 
 namespace {
@@ -127,11 +164,27 @@ struct FaultGuard {
   ~FaultGuard() { machine.disarm_faults(); }
 };
 
-Outcome run_sort_on(simd::Machine& machine, std::vector<std::uint32_t>& keys,
-                    const Config& config) {
-  const std::size_t n =
-      keys.empty() ? 0 : keys.size() / static_cast<std::size_t>(config.nprocs);
+/// Throws the ConfigError for an invalid (entry, config, keys) triple,
+/// embedding the violated constraint from config_invalid_reason so a
+/// service shard planner's mistake is debuggable from the message.
+[[noreturn]] void throw_invalid_config(const char* entry, const Config& config,
+                                       std::size_t total_keys,
+                                       std::size_t item = kNoItem) {
+  std::ostringstream os;
+  os << entry << ": invalid config for " << total_keys << " keys ("
+     << algorithm_name(config.algorithm) << ", P=" << config.nprocs << ")";
+  if (item != kNoItem) os << " at batch item " << item;
+  os << ": " << config_invalid_reason(config, total_keys);
+  throw ConfigError(os.str());
+}
 
+/// Apply the per-run parts of `config` to a (possibly pooled) machine:
+/// charging model and every defense, each set symmetrically so nothing
+/// a previous run enabled survives a config that turns it off.
+void apply_config(simd::Machine& machine, const Config& config) {
+  machine.set_mode(config.mode);
+  machine.set_params(config.params);
+  machine.set_cpu_scale(config.cpu_scale);
   if (config.integrity) {
     machine.enable_integrity();
   } else {
@@ -143,44 +196,93 @@ Outcome run_sort_on(simd::Machine& machine, std::vector<std::uint32_t>& keys,
   } else {
     machine.disable_profiling();
   }
+}
+
+/// The shared engine: sort every item inside one machine.run(), items
+/// separated by a barrier (a BSP superstep boundary — clocks of all
+/// VPs synchronize between items, and no VP touches item k+1's buffers
+/// before every VP is done with item k's).
+BatchOutcome run_batch_on(simd::Machine& machine,
+                          std::span<std::vector<std::uint32_t>* const> items,
+                          const Config& config) {
+  apply_config(machine, config);
   machine.disarm_faults();
   FaultGuard guard{machine};
   if (config.faults != nullptr) machine.arm_faults(*config.faults);
 
-  const Fingerprint before =
-      config.self_check ? fingerprint(keys) : Fingerprint{};
-
-  Outcome out;
-  if (keys.empty()) {
-    // Nothing to scatter; run an empty program so the report is still
-    // well-formed (P processors, zero communication).
-    out.report = machine.run([](simd::Proc&) {});
-    out.sorted = true;
-    out.faults_fired = machine.faults_fired();
-    return out;
+  const auto P = static_cast<std::size_t>(config.nprocs);
+  std::vector<Fingerprint> before;
+  if (config.self_check) {
+    before.reserve(items.size());
+    for (const auto* keys : items) before.push_back(fingerprint(*keys));
   }
-  if (config.algorithm == Algorithm::kParallelRadix ||
-      config.algorithm == Algorithm::kSampleSort) {
-    // Vector-based sorts (sample sort's partition sizes vary).
-    std::vector<std::vector<std::uint32_t>> slices(
-        static_cast<std::size_t>(config.nprocs));
-    for (int r = 0; r < config.nprocs; ++r) {
-      slices[static_cast<std::size_t>(r)].assign(
-          keys.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r) * n),
-          keys.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r + 1) * n));
+
+  // Small-item local placement: an item at or under the threshold is
+  // owned by one VP (round-robin over the small items) and local-sorted
+  // whole — no exchanges, no per-item barrier ladder.  Consecutive
+  // small items share a superstep, so up to P of them run concurrently;
+  // a parallel item always gets its own superstep.  `superstep[it]`
+  // changes exactly where a barrier is required.
+  std::vector<bool> local(items.size(), false);
+  std::vector<std::size_t> owner(items.size(), 0);
+  std::vector<std::size_t> superstep(items.size(), 0);
+  std::size_t nlocal = 0;
+  for (std::size_t it = 0; it < items.size(); ++it) {
+    local[it] = config.small_item_threshold > 0 && !items[it]->empty() &&
+                items[it]->size() <= config.small_item_threshold;
+    if (local[it]) owner[it] = nlocal++ % P;
+    if (it > 0) {
+      superstep[it] = superstep[it - 1] +
+                      ((local[it] && local[it - 1]) ? 0 : 1);
     }
-    out.report = machine.run([&](simd::Proc& p) {
-      auto& mine = slices[static_cast<std::size_t>(p.rank())];
-      if (config.algorithm == Algorithm::kParallelRadix) {
-        psort::parallel_radix_sort(p, mine);
-      } else {
-        psort::parallel_sample_sort(p, mine);
+  }
+
+  const bool vector_based = config.algorithm == Algorithm::kParallelRadix ||
+                            config.algorithm == Algorithm::kSampleSort;
+  // Vector-based sorts (sample sort's partition sizes vary): per-item,
+  // per-VP slices, gathered back after the run.
+  std::vector<std::vector<std::vector<std::uint32_t>>> slices;
+  if (vector_based) {
+    slices.resize(items.size());
+    for (std::size_t it = 0; it < items.size(); ++it) {
+      const auto& keys = *items[it];
+      if (keys.empty() || local[it]) continue;
+      const std::size_t n = keys.size() / P;
+      slices[it].resize(P);
+      for (std::size_t r = 0; r < P; ++r) {
+        slices[it][r].assign(
+            keys.begin() + static_cast<std::ptrdiff_t>(r * n),
+            keys.begin() + static_cast<std::ptrdiff_t>((r + 1) * n));
       }
-    });
-    keys.clear();
-    for (const auto& s : slices) keys.insert(keys.end(), s.begin(), s.end());
-  } else {
-    out.report = machine.run([&](simd::Proc& p) {
+    }
+  }
+
+  BatchOutcome out;
+  out.report = machine.run([&](simd::Proc& p) {
+    std::vector<std::uint32_t> scratch;  // radix workspace, reused per VP
+    for (std::size_t it = 0; it < items.size(); ++it) {
+      if (it > 0 && superstep[it] != superstep[it - 1]) {
+        p.barrier();  // superstep boundary
+      }
+      auto& keys = *items[it];
+      if (keys.empty()) continue;
+      if (local[it]) {
+        if (owner[it] == static_cast<std::size_t>(p.rank())) {
+          p.timed(simd::Phase::kCompute,
+                  [&] { localsort::radix_sort(keys, scratch); });
+        }
+        continue;
+      }
+      const std::size_t n = keys.size() / P;
+      if (vector_based) {
+        auto& mine = slices[it][static_cast<std::size_t>(p.rank())];
+        if (config.algorithm == Algorithm::kParallelRadix) {
+          psort::parallel_radix_sort(p, mine);
+        } else {
+          psort::parallel_sample_sort(p, mine);
+        }
+        continue;
+      }
       std::span<std::uint32_t> slice(
           keys.data() + static_cast<std::size_t>(p.rank()) * n, n);
       switch (config.algorithm) {
@@ -202,14 +304,28 @@ Outcome run_sort_on(simd::Machine& machine, std::vector<std::uint32_t>& keys,
         default:
           break;
       }
-    });
+    }
+  });
+  if (vector_based) {
+    for (std::size_t it = 0; it < items.size(); ++it) {
+      auto& keys = *items[it];
+      if (keys.empty() || local[it]) continue;
+      keys.clear();
+      for (const auto& s : slices[it]) keys.insert(keys.end(), s.begin(), s.end());
+    }
   }
   out.faults_fired = machine.faults_fired();
-  if (config.self_check) {
-    self_check_output(keys, before, n);  // throws IntegrityError on failure
-    out.sorted = true;
-  } else {
-    out.sorted = std::is_sorted(keys.begin(), keys.end());
+  out.sorted.assign(items.size(), false);
+  const bool single = items.size() == 1;
+  for (std::size_t it = 0; it < items.size(); ++it) {
+    const auto& keys = *items[it];
+    if (config.self_check) {
+      // Throws IntegrityError (naming the item on batched runs).
+      self_check_output(keys, before[it], keys.size() / P, single ? kNoItem : it);
+      out.sorted[it] = true;
+    } else {
+      out.sorted[it] = std::is_sorted(keys.begin(), keys.end());
+    }
   }
   return out;
 }
@@ -218,32 +334,59 @@ Outcome run_sort_on(simd::Machine& machine, std::vector<std::uint32_t>& keys,
 
 Outcome parallel_sort(std::vector<std::uint32_t>& keys, const Config& config) {
   if (!config_valid(config, keys.size())) {
-    std::ostringstream os;
-    os << "parallel_sort: invalid config for " << keys.size() << " keys ("
-       << algorithm_name(config.algorithm) << ", P=" << config.nprocs << ")";
-    throw ConfigError(os.str());
+    throw_invalid_config("parallel_sort", config, keys.size());
   }
   simd::Machine machine(
       config.nprocs, config.params, config.mode, config.cpu_scale,
       backend::make(backend::kind_from_env(config.backend)));
-  return run_sort_on(machine, keys, config);
+  std::vector<std::uint32_t>* const one[1] = {&keys};
+  auto batch = run_batch_on(machine, one, config);
+  return {std::move(batch.report), batch.sorted[0], batch.faults_fired};
 }
+
+namespace {
+
+/// The nprocs mismatch every pool misconfiguration hits first; names
+/// both counts and what IS reconfigurable so the fix is obvious.
+void check_machine_shape(const char* entry, const simd::Machine& machine,
+                         const Config& config) {
+  if (machine.nprocs() == config.nprocs) return;
+  std::ostringstream os;
+  os << entry << ": machine/config nprocs mismatch — the pooled machine has "
+     << machine.nprocs() << " VPs but config.nprocs requests " << config.nprocs
+     << "; mode/params/cpu_scale are re-applied per run, but the VP count is "
+        "fixed when the Machine is constructed";
+  throw ConfigError(os.str());
+}
+
+}  // namespace
 
 Outcome parallel_sort_on(simd::Machine& machine, std::vector<std::uint32_t>& keys,
                          const Config& config) {
-  if (machine.nprocs() != config.nprocs) {
-    std::ostringstream os;
-    os << "parallel_sort_on: machine has " << machine.nprocs()
-       << " procs but config.nprocs is " << config.nprocs;
-    throw ConfigError(os.str());
-  }
+  check_machine_shape("parallel_sort_on", machine, config);
   if (!config_valid(config, keys.size())) {
-    std::ostringstream os;
-    os << "parallel_sort_on: invalid config for " << keys.size() << " keys ("
-       << algorithm_name(config.algorithm) << ", P=" << config.nprocs << ")";
-    throw ConfigError(os.str());
+    throw_invalid_config("parallel_sort_on", config, keys.size());
   }
-  return run_sort_on(machine, keys, config);
+  std::vector<std::uint32_t>* const one[1] = {&keys};
+  auto batch = run_batch_on(machine, one, config);
+  return {std::move(batch.report), batch.sorted[0], batch.faults_fired};
+}
+
+BatchOutcome parallel_sort_batch_on(simd::Machine& machine,
+                                    std::span<std::vector<std::uint32_t>* const> items,
+                                    const Config& config) {
+  check_machine_shape("parallel_sort_batch_on", machine, config);
+  for (std::size_t it = 0; it < items.size(); ++it) {
+    if (items[it] == nullptr) {
+      std::ostringstream os;
+      os << "parallel_sort_batch_on: batch item " << it << " is null";
+      throw ConfigError(os.str());
+    }
+    if (!config_valid(config, items[it]->size())) {
+      throw_invalid_config("parallel_sort_batch_on", config, items[it]->size(), it);
+    }
+  }
+  return run_batch_on(machine, items, config);
 }
 
 }  // namespace bsort::api

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -69,6 +71,20 @@ struct Config {
   bool self_check = false;
   /// Fault plan to arm for this run (testing; not owned, may be null).
   const fault::FaultPlan* faults = nullptr;
+
+  // ---- batch scheduling (parallel_sort_batch_on) --------------------
+  /// Batch items with at most this many keys are placed WHOLE on a
+  /// single owner VP (round-robin) and local-sorted there, instead of
+  /// being scattered across all P VPs.  Consecutive small items share
+  /// one superstep, so up to P of them sort CONCURRENTLY with zero
+  /// exchanges and zero intervening barriers — for requests too small
+  /// to amortize a P-way exchange schedule, this is the difference
+  /// between paying the full barrier ladder per item and paying one
+  /// barrier per P items.  0 (default) disables local placement; the
+  /// selected `algorithm` then runs for every item.  Note that locally
+  /// placed items perform no exchanges, so exchange-targeted defenses
+  /// and fault rules cannot fire on them.
+  std::size_t small_item_threshold = 0;
 };
 
 struct Outcome {
@@ -81,6 +97,13 @@ struct Outcome {
 /// constraints of the selected algorithm).
 bool config_valid(const Config& config, std::size_t total_keys);
 
+/// Why config_valid() is false, as an actionable sentence naming the
+/// violated constraint with the requested numbers ("cyclic-blocked
+/// needs n >= P, i.e. at least 256 total keys on P=16; got 64", ...).
+/// Empty when the config is valid.  This is what the service layer's
+/// shard planner surfaces when a shard shape cannot be scheduled.
+std::string config_invalid_reason(const Config& config, std::size_t total_keys);
+
 /// Sort `keys` in place on the simulated machine.  Throws ConfigError
 /// if !config_valid(config, keys.size()); propagates the structured
 /// bsort::Error of a failed run (keys are then unspecified but valid).
@@ -89,10 +112,42 @@ Outcome parallel_sort(std::vector<std::uint32_t>& keys, const Config& config);
 /// Same, but on a caller-owned Machine (pooling: repeated sorts reuse
 /// the VP threads and exchange arenas; also how tests prove a Machine
 /// survives a faulted run).  config.nprocs must match machine.nprocs()
-/// or ConfigError is thrown.  The machine's integrity/watchdog defenses
-/// are set from `config`; any armed fault plan is disarmed when the
-/// call returns or throws.
+/// or ConfigError is thrown (naming both counts).
+///
+/// Pool-reuse contract: the run behaves exactly as it would on a fresh
+/// machine constructed from `config`.  The machine's message mode,
+/// LogGP parameters and cpu_scale are SET from `config` (and stay in
+/// force afterwards); integrity, watchdog and profiling are enabled or
+/// disabled symmetrically from `config` on every call, so defenses a
+/// previous caller armed never leak into this run; any armed fault
+/// plan is disarmed when the call returns or throws; and the Machine
+/// itself sweeps mid-flight exchange state of a failed previous run at
+/// dispatch.  The only construction-time properties are nprocs and the
+/// execution backend (config.backend is ignored here — pass it to the
+/// Machine constructor instead).
 Outcome parallel_sort_on(simd::Machine& machine, std::vector<std::uint32_t>& keys,
                          const Config& config);
+
+/// Outcome of a batched run: one shared machine.run() that sorted
+/// every item, BSP superstep style (barrier-separated), amortizing the
+/// per-run fixed costs (worker dispatch, watchdog spawn, ring clears,
+/// report aggregation) that dominate small sorts.
+struct BatchOutcome {
+  simd::RunReport report;    ///< the single shared run
+  std::vector<bool> sorted;  ///< per item, parallel to `items`
+  std::uint64_t faults_fired = 0;
+};
+
+/// Sort every vector in `items` in place, all inside ONE run on the
+/// caller-owned machine — the batching primitive under
+/// service::SortService.  Each item must independently satisfy
+/// config_valid(config, item->size()) or ConfigError names the item
+/// and the violated constraint; the pool-reuse contract of
+/// parallel_sort_on applies unchanged.  config.self_check verifies
+/// each item separately (IntegrityError names the failing item).
+/// Items may have heterogeneous sizes; empty items are no-ops.
+BatchOutcome parallel_sort_batch_on(simd::Machine& machine,
+                                    std::span<std::vector<std::uint32_t>* const> items,
+                                    const Config& config);
 
 }  // namespace bsort::api

@@ -118,4 +118,31 @@ ObsReport summarize(const VpMetrics* per_vp, int nprocs);
 /// Exact q-quantile of a small sample (sorts a copy; aggregation only).
 double exact_quantile(std::vector<double> values, double q);
 
+// ---- Service SLO metrics (src/service/) -----------------------------
+//
+// Host-side counterpart of VpMetrics for the sort-as-a-service layer:
+// the same LogHistogram machinery, but recording REAL (host-clock)
+// per-request latencies and batch shapes instead of per-VP simulated
+// phases.  Written under the owning SortService's lock (requests are
+// admitted through it anyway), snapshotted lock-free into
+// service::ServiceStats.  Canonical metric names — used verbatim in
+// BENCH_service.json and ServiceStats — are the field names below.
+
+struct ServiceMetrics {
+  LogHistogram queue_us;   ///< admission -> dispatch wait per request
+  LogHistogram run_us;     ///< dispatch -> completion (host wall)
+  LogHistogram total_us;   ///< submit -> completion (the SLO latency)
+  LogHistogram batch_occupancy;  ///< requests coalesced per shared run
+
+  std::uint64_t submitted = 0;   ///< admitted into the queue
+  std::uint64_t completed = 0;   ///< promise fulfilled with sorted keys
+  std::uint64_t failed = 0;      ///< run failed (structured error delivered)
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;  ///< expired before dispatch
+  std::uint64_t batches = 0;     ///< shared runs executed
+  std::uint64_t sharded = 0;     ///< oversized requests split across the pool
+
+  void clear();
+};
+
 }  // namespace bsort::obs

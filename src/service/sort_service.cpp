@@ -1,0 +1,451 @@
+#include "service/sort_service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "backend/backend.hpp"
+
+namespace bsort::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Pads sort to the tail under unsigned comparison, so dropping exactly
+/// pad-many tail entries after the sort restores the request even when
+/// real keys equal the pad value.
+constexpr std::uint32_t kPadKey = std::numeric_limits<std::uint32_t>::max();
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+QueueFull::QueueFull(const std::string& what, std::size_t depth,
+                     std::size_t limit)
+    : Error(what), depth_(depth), limit_(limit) {}
+
+DeadlineExceeded::DeadlineExceeded(const std::string& what,
+                                   double deadline_seconds,
+                                   double waited_seconds)
+    : Error(what), deadline_s_(deadline_seconds), waited_s_(waited_seconds) {}
+
+/// One submitted request.  Shards of a sharded request are independent
+/// queue fragments (possibly served by different pool machines), so the
+/// reassembly state lives here behind its own mutex; the promise is
+/// settled exactly once (`done`), first failure wins.
+struct SortService::Request {
+  std::promise<SortResult> promise;
+  Clock::time_point submitted{};
+  double deadline_s = 0;  ///< 0 = none
+  Clock::time_point deadline{};
+  std::size_t total_keys = 0;
+  int shards = 1;
+
+  std::mutex m;
+  bool done = false;
+  int parts_pending = 0;
+  std::vector<std::vector<std::uint32_t>> parts;  ///< unpadded, shard order
+
+  // Aggregates across the request's fragments (max: shards overlap).
+  double queue_us = 0;
+  double run_us = 0;
+  double makespan_us = 0;
+  int batch_items = 1;
+
+  [[nodiscard]] bool has_deadline() const { return deadline_s > 0; }
+  [[nodiscard]] bool expired(Clock::time_point now) const {
+    return has_deadline() && now >= deadline;
+  }
+};
+
+SortService::SortService(ServiceConfig config)
+    : config_(std::move(config)), start_(Clock::now()) {
+  if (config_.pool_size < 1) {
+    throw ConfigError("SortService: pool_size must be >= 1 (got " +
+                      std::to_string(config_.pool_size) + ")");
+  }
+  if (config_.max_batch < 1) {
+    throw ConfigError("SortService: max_batch must be >= 1 (got " +
+                      std::to_string(config_.max_batch) + ")");
+  }
+  if (config_.shard_threshold > 0 && config_.shards_per_request < 2) {
+    throw ConfigError(
+        "SortService: shards_per_request must be >= 2 when sharding is "
+        "enabled (got " +
+        std::to_string(config_.shards_per_request) + ")");
+  }
+  // Fail construction, not the first submit, on an unschedulable base
+  // config: probe the smallest shape the padder would ever produce.
+  static_cast<void>(padded_size(1));
+
+  metrics_.clear();
+  pool_.reserve(static_cast<std::size_t>(config_.pool_size));
+  for (int i = 0; i < config_.pool_size; ++i) {
+    auto& base = config_.base;
+    pool_.push_back(std::make_unique<simd::Machine>(
+        base.nprocs, base.params, base.mode, base.cpu_scale,
+        backend::make(backend::kind_from_env(base.backend))));
+    if (config_.prewarm) {
+      // First-run lazy costs (thread-pool settling, arena growth for
+      // the empty program) are paid here, not by the first request.
+      pool_.back()->run([](simd::Proc&) {});
+    }
+  }
+  dispatchers_.reserve(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    dispatchers_.emplace_back([this, i] { dispatch_loop(i); });
+  }
+}
+
+SortService::~SortService() { shutdown(); }
+
+void SortService::shutdown() {
+  std::lock_guard<std::mutex> serial(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ && dispatchers_.empty()) return;  // already shut down
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+  dispatchers_.clear();
+}
+
+std::size_t SortService::padded_size(std::size_t size) const {
+  if (size == 0) return 0;
+  std::size_t total = 1;
+  while (total < size) total <<= 1;
+  // The shape constraints (N >= P, smart's N >= 2P, column sort's
+  // n >= 2(P-1)^2, ...) are all satisfied by doubling far below this
+  // bound for any constructible machine.
+  constexpr std::size_t kPadLimit = std::size_t{1} << 40;
+  while (!api::config_valid(config_.base, total)) {
+    if (total >= kPadLimit) {
+      throw ConfigError(
+          "SortService: no schedulable padded shape for " +
+          std::to_string(size) + " keys under the base config: " +
+          api::config_invalid_reason(config_.base, total));
+    }
+    total <<= 1;
+  }
+  return total;
+}
+
+std::future<SortResult> SortService::submit(std::vector<std::uint32_t> keys,
+                                            SubmitOptions options) {
+  const auto now = Clock::now();
+  auto req = std::make_shared<Request>();
+  req->submitted = now;
+  req->total_keys = keys.size();
+  if (options.deadline_s > 0) {
+    req->deadline_s = options.deadline_s;
+    req->deadline = now + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(options.deadline_s));
+  }
+  auto future = req->promise.get_future();
+
+  if (keys.empty()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) throw ServiceStopped("SortService: submit after shutdown");
+    ++metrics_.submitted;
+    ++metrics_.completed;
+    metrics_.total_us.record(0);
+    req->promise.set_value(SortResult{});
+    return future;
+  }
+
+  // Plan the request into fragments OUTSIDE the lock: padding and
+  // splitter partitioning touch every key.
+  const bool shard = config_.shard_threshold > 0 &&
+                     keys.size() >= config_.shard_threshold &&
+                     config_.shards_per_request >= 2;
+  std::vector<Fragment> frags;
+  if (!shard) {
+    Fragment f;
+    f.req = req;
+    f.real_size = keys.size();
+    f.keys = std::move(keys);
+    f.keys.resize(padded_size(f.real_size), kPadKey);
+    frags.push_back(std::move(f));
+  } else {
+    // Sampled splitters (oversampling rate 32 per shard): the shard
+    // ranges are disjoint and ordered, so the sorted shards concatenate
+    // into the sorted request with no merge step.
+    const auto S = static_cast<std::size_t>(config_.shards_per_request);
+    std::vector<std::uint32_t> sample;
+    const std::size_t want = std::min(keys.size(), S * 32);
+    sample.reserve(want);
+    const std::size_t stride = keys.size() / want;
+    for (std::size_t i = 0; i < want; ++i) sample.push_back(keys[i * stride]);
+    std::sort(sample.begin(), sample.end());
+    std::vector<std::uint32_t> splitters;  // S-1 upper bounds (exclusive)
+    splitters.reserve(S - 1);
+    for (std::size_t s = 1; s < S; ++s) {
+      splitters.push_back(sample[s * sample.size() / S]);
+    }
+    std::vector<std::vector<std::uint32_t>> buckets(S);
+    for (auto& b : buckets) b.reserve(keys.size() / S + 16);
+    for (std::uint32_t k : keys) {
+      const auto it = std::upper_bound(splitters.begin(), splitters.end(), k);
+      buckets[static_cast<std::size_t>(it - splitters.begin())].push_back(k);
+    }
+    keys.clear();
+    keys.shrink_to_fit();
+    for (std::size_t s = 0; s < S; ++s) {
+      if (buckets[s].empty()) continue;  // degenerate splitter: skip
+      Fragment f;
+      f.req = req;
+      f.shard_index = s;
+      f.real_size = buckets[s].size();
+      f.keys = std::move(buckets[s]);
+      f.keys.resize(padded_size(f.real_size), kPadKey);
+      frags.push_back(std::move(f));
+    }
+  }
+  req->shards = static_cast<int>(frags.size());
+  req->parts_pending = static_cast<int>(frags.size());
+  req->parts.resize(shard ? static_cast<std::size_t>(config_.shards_per_request)
+                          : 1);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) throw ServiceStopped("SortService: submit after shutdown");
+    if (queue_.size() + frags.size() > config_.queue_limit) {
+      ++metrics_.rejected_queue_full;
+      std::ostringstream os;
+      os << "SortService: queue full — " << queue_.size() << " fragment(s) "
+         << "pending plus " << frags.size() << " new would exceed the "
+         << "queue_limit of " << config_.queue_limit;
+      throw QueueFull(os.str(), queue_.size(), config_.queue_limit);
+    }
+    ++metrics_.submitted;
+    if (frags.size() > 1) ++metrics_.sharded;
+    const auto enq = Clock::now();
+    for (auto& f : frags) {
+      f.enqueued = enq;
+      queue_.push_back(std::move(f));
+    }
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void SortService::fail_fragment(Fragment& f, std::exception_ptr error,
+                                bool count_failed) {
+  bool newly_failed = false;
+  {
+    std::lock_guard<std::mutex> lk(f.req->m);
+    if (!f.req->done) {
+      f.req->done = true;
+      f.req->promise.set_exception(std::move(error));
+      newly_failed = true;
+    }
+  }
+  if (newly_failed && count_failed) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++metrics_.failed;
+  }
+}
+
+void SortService::complete_fragment(Fragment&& f, double run_us,
+                                    int batch_items, double makespan_us) {
+  const auto now = Clock::now();
+  f.keys.resize(f.real_size);  // drop the kPadKey tail
+  auto req = f.req;
+
+  bool finished = false;
+  SortResult result;
+  {
+    std::lock_guard<std::mutex> lk(req->m);
+    if (req->done) return;  // a sibling shard already failed the request
+    req->parts[f.shard_index] = std::move(f.keys);
+    req->queue_us = std::max(req->queue_us, f.queue_us_tmp);
+    req->run_us = std::max(req->run_us, run_us);
+    req->makespan_us = std::max(req->makespan_us, makespan_us);
+    req->batch_items = std::max(req->batch_items, batch_items);
+    if (--req->parts_pending > 0) return;
+
+    req->done = true;
+    finished = true;
+    result.keys.reserve(req->total_keys);
+    for (auto& part : req->parts) {
+      result.keys.insert(result.keys.end(), part.begin(), part.end());
+      part.clear();
+    }
+    result.queue_us = req->queue_us;
+    result.run_us = req->run_us;
+    result.total_us = us_between(req->submitted, now);
+    result.batch_items = req->batch_items;
+    result.shards = req->shards;
+    result.makespan_us = req->makespan_us;
+  }
+
+  if (finished) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++metrics_.completed;
+      metrics_.queue_us.record(result.queue_us);
+      metrics_.run_us.record(result.run_us);
+      metrics_.total_us.record(result.total_us);
+    }
+    req->promise.set_value(std::move(result));
+  }
+}
+
+void SortService::dispatch_loop(std::size_t machine_index) {
+  simd::Machine& machine = *pool_[machine_index];
+  for (;;) {
+    std::vector<Fragment> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;  // drained
+        continue;
+      }
+      const auto now = Clock::now();
+      while (batch.size() < config_.max_batch && !queue_.empty()) {
+        Fragment f = std::move(queue_.front());
+        queue_.pop_front();
+        if (f.req->expired(now)) {
+          // Reject without consuming a batch slot or a machine.
+          ++metrics_.rejected_deadline;
+          const double waited =
+              us_between(f.req->submitted, now) / 1e6;
+          std::ostringstream os;
+          os << "SortService: deadline of " << f.req->deadline_s
+             << "s exceeded after waiting " << waited
+             << "s in the queue (request never dispatched)";
+          lk.unlock();
+          fail_fragment(f,
+                        std::make_exception_ptr(DeadlineExceeded(
+                            os.str(), f.req->deadline_s, waited)),
+                        /*count_failed=*/false);
+          lk.lock();
+          continue;
+        }
+        f.queue_us_tmp = us_between(f.enqueued, now);
+        batch.push_back(std::move(f));
+      }
+    }
+    if (batch.empty()) continue;
+    run_batch(machine, batch);
+    cv_.notify_all();  // queue may still hold work for us
+  }
+}
+
+void SortService::run_batch(simd::Machine& machine,
+                            std::vector<Fragment>& batch) {
+  api::Config cfg = config_.base;
+
+  // Arm the barrier watchdog with the tightest remaining deadline
+  // budget so a stuck run fails structurally (BarrierTimeout) instead
+  // of wedging this pool machine past every rider's deadline.
+  const auto t0 = Clock::now();
+  bool any_deadline = false;
+  double budget_s = std::numeric_limits<double>::infinity();
+  for (const auto& f : batch) {
+    if (!f.req->has_deadline()) continue;
+    any_deadline = true;
+    budget_s = std::min(
+        budget_s, std::chrono::duration<double>(f.req->deadline - t0).count());
+  }
+  if (any_deadline) {
+    budget_s = std::max(budget_s, 0.001);
+    cfg.watchdog_seconds = cfg.watchdog_seconds > 0
+                               ? std::min(cfg.watchdog_seconds, budget_s)
+                               : budget_s;
+  }
+
+  std::vector<std::vector<std::uint32_t>*> items;
+  items.reserve(batch.size());
+  for (auto& f : batch) items.push_back(&f.keys);
+
+  api::BatchOutcome out;
+  std::exception_ptr error;
+  try {
+    out = api::parallel_sort_batch_on(machine, items, cfg);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  const double run_us = us_between(t0, Clock::now());
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++metrics_.batches;
+    metrics_.batch_occupancy.record(static_cast<double>(batch.size()));
+  }
+
+  if (error) {
+    // The whole shared run failed; deadline-carrying riders of a
+    // watchdog abort get the deadline error they asked for, everyone
+    // else the structured run error.
+    bool timeout = false;
+    try {
+      std::rethrow_exception(error);
+    } catch (const BarrierTimeout&) {
+      timeout = true;
+    } catch (...) {
+    }
+    for (auto& f : batch) {
+      if (timeout && f.req->has_deadline()) {
+        const double waited = us_between(f.req->submitted, Clock::now()) / 1e6;
+        std::ostringstream os;
+        os << "SortService: deadline of " << f.req->deadline_s
+           << "s exceeded while running (the batch watchdog fired after "
+           << waited << "s)";
+        fail_fragment(f, std::make_exception_ptr(DeadlineExceeded(
+                             os.str(), f.req->deadline_s, waited)));
+      } else {
+        fail_fragment(f, error);
+      }
+    }
+    return;
+  }
+
+  const auto n = static_cast<int>(batch.size());
+  for (auto& f : batch) {
+    complete_fragment(std::move(f), run_us, n, out.report.makespan_us);
+  }
+}
+
+ServiceStats SortService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServiceStats s;
+  s.submitted = metrics_.submitted;
+  s.completed = metrics_.completed;
+  s.failed = metrics_.failed;
+  s.rejected_queue_full = metrics_.rejected_queue_full;
+  s.rejected_deadline = metrics_.rejected_deadline;
+  s.batches = metrics_.batches;
+  s.sharded = metrics_.sharded;
+  s.queue_depth = queue_.size();
+  s.pool_size = config_.pool_size;
+  s.uptime_s = std::chrono::duration<double>(Clock::now() - start_).count();
+  s.sorts_per_sec =
+      s.uptime_s > 0 ? static_cast<double>(s.completed) / s.uptime_s : 0;
+  s.queue_p50_us = metrics_.queue_us.quantile(0.50);
+  s.queue_p95_us = metrics_.queue_us.quantile(0.95);
+  s.queue_p99_us = metrics_.queue_us.quantile(0.99);
+  s.run_p50_us = metrics_.run_us.quantile(0.50);
+  s.run_p95_us = metrics_.run_us.quantile(0.95);
+  s.run_p99_us = metrics_.run_us.quantile(0.99);
+  s.total_p50_us = metrics_.total_us.quantile(0.50);
+  s.total_p95_us = metrics_.total_us.quantile(0.95);
+  s.total_p99_us = metrics_.total_us.quantile(0.99);
+  s.total_max_us = metrics_.total_us.max();
+  s.batch_occupancy_mean = metrics_.batch_occupancy.mean();
+  s.batch_occupancy_max = metrics_.batch_occupancy.max();
+  return s;
+}
+
+}  // namespace bsort::service

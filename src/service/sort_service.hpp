@@ -1,0 +1,233 @@
+// Sort-as-a-service: a batched request scheduler over a pool of
+// pre-warmed Machines — the first layer ABOVE the single-run facade.
+//
+// The paper optimizes one big sort; production traffic is millions of
+// concurrent small-to-medium sorts, where the per-run fixed costs the
+// paper amortizes over N (worker dispatch, scatter/gather, watchdog
+// spawn, report aggregation) dominate.  SortService attacks exactly
+// that regime:
+//
+//   * POOL — `pool_size` Machines constructed (and optionally warmed)
+//     up front; every request runs through api::parallel_sort_on's
+//     pool-reuse contract, so a pool member is indistinguishable from
+//     a fresh machine.  One dispatcher thread drives each machine.
+//
+//   * BATCHING — concurrent small requests are coalesced into one
+//     shared run (api::parallel_sort_batch_on): items execute as
+//     barrier-separated BSP supersteps, per-request boundaries are the
+//     batch items themselves, and results split back on gather.  Batch
+//     sizing follows the BSP superstep argument (Gerbessiotis &
+//     Siniolakis): the fixed run cost is paid once per superstep
+//     instead of once per request.
+//
+//   * SHARDING — a request of at least `shard_threshold` keys is split
+//     into `shards_per_request` splitter-partitioned shards (sampled
+//     splitters, the optimal-sampling idea of Yang/Harsh/Solomonik:
+//     few samples suffice for balanced parts), sorted independently
+//     across pool members, and concatenated on gather — the shard
+//     ranges are disjoint and ordered, so no merge is needed.
+//
+//   * SHAPES — the facade demands power-of-two key counts; the service
+//     accepts ANY size by padding fragments with the maximal key value
+//     (pads sort to the tail and exactly pad-many tail entries are
+//     dropped on gather, which is value-correct even when real keys
+//     equal the pad value).
+//
+//   * DEADLINES — a request may carry a relative deadline.  Expired in
+//     the queue -> rejected with DeadlineExceeded before consuming a
+//     machine.  While running -> the batch's watchdog (the PR 4
+//     barrier watchdog) is armed with the tightest remaining budget,
+//     so a stuck run fails structurally instead of wedging the pool;
+//     deadline-carrying requests then receive DeadlineExceeded.
+//
+//   * SLO METRICS — queue/run/total latency histograms (p50/p95/p99),
+//     queue depth, sorts/sec, batch occupancy — recorded through the
+//     obs::ServiceMetrics registry and snapshotted via stats(); the
+//     bench_service harness exports them as a bsort-bench-v1 report.
+//
+// Thread safety: submit()/stats()/shutdown() may be called from any
+// thread.  Results are delivered through std::future; failures carry
+// the library's structured bsort::Error types.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/parallel_sort.hpp"
+#include "fault/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace bsort::service {
+
+/// Admission rejection: the pending-fragment queue is at its limit.
+/// Thrown synchronously from submit().
+class QueueFull : public Error {
+ public:
+  QueueFull(const std::string& what, std::size_t depth, std::size_t limit);
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] std::size_t limit() const { return limit_; }
+
+ private:
+  std::size_t depth_;
+  std::size_t limit_;
+};
+
+/// The request's deadline expired before (or while) it could run;
+/// delivered through the request's future.  `waited_seconds` is how
+/// long the request had been in the service when it was rejected.
+class DeadlineExceeded : public Error {
+ public:
+  DeadlineExceeded(const std::string& what, double deadline_seconds,
+                   double waited_seconds);
+  [[nodiscard]] double deadline_seconds() const { return deadline_s_; }
+  [[nodiscard]] double waited_seconds() const { return waited_s_; }
+
+ private:
+  double deadline_s_;
+  double waited_s_;
+};
+
+/// submit() after shutdown() (or during destruction).
+class ServiceStopped : public Error {
+ public:
+  using Error::Error;
+};
+
+struct ServiceConfig {
+  /// Per-run template: nprocs/mode/params/algorithm and the defenses
+  /// every batch runs with.  `backend` selects the pool machines'
+  /// execution backend (BSORT_BACKEND still overrides, as for
+  /// parallel_sort).  `watchdog_seconds` is the default run budget;
+  /// request deadlines tighten it per batch.  `faults` is honored (for
+  /// chaos-testing the service) but shared by every batch.
+  api::Config base;
+
+  int pool_size = 2;             ///< machines (and dispatcher threads)
+  std::size_t queue_limit = 4096;  ///< pending fragments before QueueFull
+  std::size_t max_batch = 8;       ///< fragments coalesced per shared run
+
+  /// Requests with at least this many keys are splitter-sharded across
+  /// the pool; 0 disables sharding.
+  std::size_t shard_threshold = 0;
+  int shards_per_request = 2;
+
+  /// Run one empty program on every pool machine at construction so
+  /// the first real request pays no first-run warmup.
+  bool prewarm = true;
+};
+
+/// Per-request submit() options.
+struct SubmitOptions {
+  double deadline_s = 0;  ///< relative to submit; 0 = no deadline
+};
+
+/// What a fulfilled future carries.
+struct SortResult {
+  std::vector<std::uint32_t> keys;  ///< the request's keys, sorted
+
+  double queue_us = 0;  ///< admission -> dispatch (host clock)
+  double run_us = 0;    ///< dispatch -> batch completion (host clock)
+  double total_us = 0;  ///< submit -> fulfillment (the SLO latency)
+
+  int batch_items = 1;     ///< occupancy of the shared run that served it
+  int shards = 1;          ///< 1 = not sharded
+  double makespan_us = 0;  ///< simulated makespan (max over its runs)
+};
+
+/// Point-in-time service snapshot; quantiles come from the log2
+/// histograms of obs::ServiceMetrics (interpolated, max exact).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t sharded = 0;
+
+  std::size_t queue_depth = 0;  ///< pending fragments right now
+  int pool_size = 0;
+  double uptime_s = 0;
+  double sorts_per_sec = 0;  ///< completed / uptime
+
+  double queue_p50_us = 0, queue_p95_us = 0, queue_p99_us = 0;
+  double run_p50_us = 0, run_p95_us = 0, run_p99_us = 0;
+  double total_p50_us = 0, total_p95_us = 0, total_p99_us = 0;
+  double total_max_us = 0;
+
+  double batch_occupancy_mean = 0;
+  double batch_occupancy_max = 0;
+};
+
+class SortService {
+ public:
+  explicit SortService(ServiceConfig config);
+  ~SortService();  ///< shutdown(): drains the queue, joins dispatchers
+
+  SortService(const SortService&) = delete;
+  SortService& operator=(const SortService&) = delete;
+
+  /// Admit one sort request.  Any key count is accepted (fragments are
+  /// padded to the nearest schedulable shape).  Throws QueueFull or
+  /// ServiceStopped synchronously; every later failure — including
+  /// DeadlineExceeded and any structured error of the run — is
+  /// delivered through the returned future.
+  std::future<SortResult> submit(std::vector<std::uint32_t> keys,
+                                 SubmitOptions options = {});
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+  /// Stop admitting, drain everything already queued, join the
+  /// dispatchers.  Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One submitted request (possibly split into several fragments).
+  struct Request;
+  /// One queue entry: a whole small request or one shard of a big one.
+  struct Fragment {
+    std::shared_ptr<Request> req;
+    std::vector<std::uint32_t> keys;  ///< padded to a schedulable shape
+    std::size_t real_size = 0;        ///< keys before padding
+    std::size_t shard_index = 0;
+    Clock::time_point enqueued{};
+    double queue_us_tmp = 0;  ///< stamped at dispatch, folded per request
+  };
+
+  void dispatch_loop(std::size_t machine_index);
+  void run_batch(simd::Machine& machine, std::vector<Fragment>& batch);
+  /// Deliver `error` through the fragment's request (first failure
+  /// wins).  `count_failed` is false for queue-side deadline
+  /// rejections, which have their own counter.
+  void fail_fragment(Fragment& f, std::exception_ptr error,
+                     bool count_failed = true);
+  void complete_fragment(Fragment&& f, double run_us, int batch_items,
+                         double makespan_us);
+  /// Smallest total >= `size` the base config can schedule.
+  [[nodiscard]] std::size_t padded_size(std::size_t size) const;
+
+  ServiceConfig config_;
+  Clock::time_point start_;
+
+  std::mutex shutdown_mu_;  ///< serializes concurrent shutdown()
+  mutable std::mutex mu_;   ///< queue + metrics + stopping flag
+  std::condition_variable cv_;
+  std::deque<Fragment> queue_;
+  bool stopping_ = false;
+  obs::ServiceMetrics metrics_;
+
+  std::vector<std::unique_ptr<simd::Machine>> pool_;
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace bsort::service

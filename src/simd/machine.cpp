@@ -343,6 +343,16 @@ Machine::Machine(int nprocs, loggp::Params params, MessageMode mode, double cpu_
 
 const bsort::backend::Backend& Machine::backend() const { return *impl_->backend; }
 
+void Machine::set_cpu_scale(double cpu_scale) {
+  if (!(cpu_scale > 0)) {  // !(x > 0) also rejects NaN
+    std::ostringstream os;
+    os << "set_cpu_scale: cpu_scale must be > 0 (got " << cpu_scale
+       << "); it multiplies every measured compute time";
+    throw ConfigError(os.str());
+  }
+  cpu_scale_ = cpu_scale;
+}
+
 Machine::~Machine() {
   {
     std::lock_guard<std::mutex> lk(impl_->run_mu);
@@ -1061,7 +1071,20 @@ RunReport Machine::run(const std::function<void(Proc&)>& program) {
               std::uint8_t{0});
     impl_->faults->fires.store(0, std::memory_order_relaxed);
   }
+  // Sweep the exchange state a previous run may have left mid-flight.
+  // A poisoned/faulted/timed-out run can die between open_exchange and
+  // the receivers' reads, leaving published cells (pointers into VP
+  // arenas that the next run's open_exchange may reallocate, plus
+  // integrity seals from a config that may no longer be in force) and
+  // stale recv views.  Without this sweep a pooled machine could hand
+  // run N+1 a dangling view or fail it against run N's checksum.
+  for (auto& c : impl_->cells) c = {};
   for (auto& vp : impl_->vps) {
+    vp.open = false;
+    vp.self_slot = static_cast<std::size_t>(-1);
+    vp.recv_views.clear();
+    vp.recv_declared.clear();
+    vp.recv_sum.clear();
     vp.st_where.store("running", std::memory_order_relaxed);
     vp.st_exchanges.store(0, std::memory_order_relaxed);
     vp.st_clock.store(0, std::memory_order_relaxed);

@@ -395,6 +395,23 @@ class Machine {
   [[nodiscard]] int nprocs() const { return nprocs_; }
   [[nodiscard]] MessageMode mode() const { return mode_; }
   [[nodiscard]] const loggp::Params& params() const { return params_; }
+
+  // ---- Between-run reconfiguration (machine pooling) ----------------
+  //
+  // A pooled Machine serves heterogeneous configs: everything but the
+  // processor count and the execution backend can be changed between
+  // runs (api::parallel_sort_on applies the caller's Config through
+  // these setters, so a pool member is indistinguishable from a fresh
+  // machine — see the pool-reuse contract in api/parallel_sort.hpp).
+  // Like enable_tracing()/enable_profiling(), call only between runs.
+
+  /// Switch LogP (short) / LogGP (long) charging for subsequent runs.
+  void set_mode(MessageMode mode) { mode_ = mode; }
+  /// Replace the LogGP parameter set used to price subsequent runs.
+  void set_params(const loggp::Params& params) { params_ = params; }
+  /// Replace the compute-time multiplier; throws ConfigError on a
+  /// non-positive or NaN scale (same validation as the constructor).
+  void set_cpu_scale(double cpu_scale);
   /// The execution backend pricing (or measuring) every exchange.
   [[nodiscard]] const bsort::backend::Backend& backend() const;
 
@@ -478,7 +495,12 @@ class Machine {
   /// Execute `program` on every VP (SPMD).  Blocks until all finish.
   /// If a VP throws, the barrier is poisoned so every other VP unwinds
   /// (no deadlock) and the first exception is rethrown here; the Machine
-  /// remains usable for subsequent runs.
+  /// remains usable for subsequent runs.  Every run starts from a clean
+  /// exchange state: the mailbox cells and each VP's received views are
+  /// swept at dispatch, so nothing a failed (poisoned, faulted, or
+  /// timed-out) run left mid-exchange — published cells, integrity
+  /// seals, views into since-reallocated arenas — can leak into the
+  /// next run's exchanges.
   RunReport run(const std::function<void(Proc&)>& program);
 
  private:

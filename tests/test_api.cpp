@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "fault/error.hpp"
 #include "util/random.hpp"
 
 namespace bsort::api {
@@ -171,6 +172,160 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ApiNames, AllDistinct) {
   EXPECT_EQ(algorithm_name(Algorithm::kSmartBitonic), "bitonic/smart");
   EXPECT_EQ(algorithm_name(Algorithm::kColumnSort), "column");
+}
+
+// Shape failures must be actionable: the reason names the violated
+// constraint WITH the requested numbers, not just "invalid config".
+TEST(ApiErrors, InvalidReasonNamesConstraintAndNumbers) {
+  Config cfg;
+  cfg.nprocs = 7;
+  auto reason = config_invalid_reason(cfg, 1u << 12);
+  EXPECT_NE(reason.find("power of two"), std::string::npos) << reason;
+  EXPECT_NE(reason.find("7"), std::string::npos) << reason;
+
+  cfg.nprocs = 8;
+  EXPECT_TRUE(config_invalid_reason(cfg, 1u << 12).empty());
+  reason = config_invalid_reason(cfg, (1u << 12) + 1);
+  EXPECT_NE(reason.find("power of two"), std::string::npos) << reason;
+  EXPECT_NE(reason.find("4097"), std::string::npos) << reason;
+
+  cfg.algorithm = Algorithm::kSmartBitonic;
+  reason = config_invalid_reason(cfg, 8);  // n = 1 < 2 on P = 8
+  EXPECT_NE(reason.find("n >= 2"), std::string::npos) << reason;
+  EXPECT_NE(reason.find("16 total keys"), std::string::npos) << reason;
+
+  cfg.nprocs = 16;
+  cfg.algorithm = Algorithm::kCyclicBlockedBitonic;
+  reason = config_invalid_reason(cfg, 1u << 7);  // N < P^2
+  EXPECT_NE(reason.find("N >= P^2"), std::string::npos) << reason;
+  EXPECT_NE(reason.find("256 total keys"), std::string::npos) << reason;
+
+  cfg.algorithm = Algorithm::kColumnSort;
+  reason = config_invalid_reason(cfg, 1u << 12);
+  EXPECT_NE(reason.find("2(P-1)^2"), std::string::npos) << reason;
+}
+
+TEST(ApiErrors, ParallelSortEmbedsReasonInConfigError) {
+  Config cfg;
+  cfg.nprocs = 16;
+  cfg.algorithm = Algorithm::kCyclicBlockedBitonic;
+  std::vector<std::uint32_t> keys(1u << 7, 1);
+  try {
+    parallel_sort(keys, cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("parallel_sort"), std::string::npos) << what;
+    EXPECT_NE(what.find("128 keys"), std::string::npos) << what;
+    EXPECT_NE(what.find("N >= P^2"), std::string::npos) << what;
+  }
+}
+
+TEST(ApiErrors, NprocsMismatchNamesBothCountsAndTheFix) {
+  simd::Machine machine(4, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  Config cfg;
+  cfg.nprocs = 8;
+  std::vector<std::uint32_t> keys(1u << 10, 1);
+  try {
+    parallel_sort_on(machine, keys, cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("has 4 VPs"), std::string::npos) << what;
+    EXPECT_NE(what.find("requests 8"), std::string::npos) << what;
+    EXPECT_NE(what.find("fixed when the Machine is constructed"), std::string::npos)
+        << what;
+  }
+}
+
+// The batching primitive: heterogeneous items, one shared run, errors
+// naming the offending item.
+TEST(ApiBatch, SortsHeterogeneousItemsInOneRun) {
+  simd::Machine machine(4, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.self_check = true;
+  auto a = util::generate_keys(1u << 8, util::KeyDistribution::kUniform31, 1);
+  auto b = util::generate_keys(1u << 10, util::KeyDistribution::kUniform31, 2);
+  std::vector<std::uint32_t> c;  // empty item is a no-op
+  auto wa = a, wb = b;
+  std::sort(wa.begin(), wa.end());
+  std::sort(wb.begin(), wb.end());
+  std::vector<std::uint32_t>* const items[3] = {&a, &b, &c};
+  const auto out = parallel_sort_batch_on(machine, items, cfg);
+  ASSERT_EQ(out.sorted.size(), 3u);
+  EXPECT_TRUE(out.sorted[0]);
+  EXPECT_TRUE(out.sorted[1]);
+  EXPECT_TRUE(out.sorted[2]);
+  EXPECT_EQ(a, wa);
+  EXPECT_EQ(b, wb);
+  EXPECT_TRUE(c.empty());
+  EXPECT_GT(out.report.makespan_us, 0.0);
+}
+
+TEST(ApiBatch, SmallItemThresholdPlacesItemsLocallyWithZeroExchanges) {
+  simd::Machine machine(4, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.self_check = true;
+  cfg.small_item_threshold = 512;
+
+  // All items under the threshold: the whole batch must run without a
+  // single exchange (every item local-sorted by its owner VP).
+  std::vector<std::vector<std::uint32_t>> reqs;
+  std::vector<std::vector<std::uint32_t>> want;
+  std::vector<std::vector<std::uint32_t>*> items;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    reqs.push_back(util::generate_keys(256, util::KeyDistribution::kUniform31, i));
+    want.push_back(reqs.back());
+    std::sort(want.back().begin(), want.back().end());
+  }
+  for (auto& r : reqs) items.push_back(&r);
+  const auto out = parallel_sort_batch_on(machine, items, cfg);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_TRUE(out.sorted[i]);
+    EXPECT_EQ(reqs[i], want[i]) << "item " << i;
+  }
+  for (const auto& comm : out.report.proc_comm) {
+    EXPECT_EQ(comm.elements_sent, 0u) << "local placement must not exchange";
+    EXPECT_EQ(comm.messages_sent, 0u);
+  }
+
+  // Mixed batch: items above the threshold still run the full parallel
+  // algorithm (and therefore do exchange).
+  auto big = util::generate_keys(1u << 12, util::KeyDistribution::kUniform31, 9);
+  auto big_want = big;
+  std::sort(big_want.begin(), big_want.end());
+  auto small = util::generate_keys(128, util::KeyDistribution::kUniform31, 10);
+  auto small_want = small;
+  std::sort(small_want.begin(), small_want.end());
+  std::vector<std::uint32_t>* const mixed[2] = {&small, &big};
+  const auto out2 = parallel_sort_batch_on(machine, mixed, cfg);
+  EXPECT_TRUE(out2.sorted[0]);
+  EXPECT_TRUE(out2.sorted[1]);
+  EXPECT_EQ(small, small_want);
+  EXPECT_EQ(big, big_want);
+  std::uint64_t sent = 0;
+  for (const auto& comm : out2.report.proc_comm) sent += comm.elements_sent;
+  EXPECT_GT(sent, 0u) << "the oversized item must still be sorted in parallel";
+}
+
+TEST(ApiBatch, InvalidItemNamesItsIndexAndConstraint) {
+  simd::Machine machine(4, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  Config cfg;
+  cfg.nprocs = 4;
+  auto good = util::generate_keys(1u << 8, util::KeyDistribution::kUniform31, 3);
+  std::vector<std::uint32_t> bad(100, 1);  // not a power of two
+  std::vector<std::uint32_t>* const items[2] = {&good, &bad};
+  try {
+    parallel_sort_batch_on(machine, items, cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("batch item 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("power of two"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -76,6 +76,10 @@ void chaos_round(simd::Machine& machine, api::Algorithm algorithm,
                  const fault::FaultPlan& plan) {
   api::Config cfg;
   cfg.nprocs = kProcs;
+  // parallel_sort_on applies config.mode to the pooled machine, so the
+  // config must name the mode under test or a kShort machine would be
+  // silently flipped back to the kLong default.
+  cfg.mode = machine.mode();
   cfg.algorithm = algorithm;
   cfg.integrity = true;
   cfg.self_check = true;
@@ -103,6 +107,7 @@ void chaos_round(simd::Machine& machine, api::Algorithm algorithm,
   // The machine must have fully recovered.
   api::Config clean;
   clean.nprocs = kProcs;
+  clean.mode = machine.mode();
   clean.algorithm = algorithm;
   clean.self_check = true;
   auto keys2 = chaos_keys(plan.seed + 17);

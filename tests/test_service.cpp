@@ -1,0 +1,276 @@
+// SortService end to end: batching correctness over a pre-warmed pool,
+// arbitrary (non-power-of-two) request sizes via padding, splitter
+// sharding of oversized requests, queue-full and deadline admission
+// control, structured failure delivery, and SLO stats sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "fault/error.hpp"
+#include "fault/plan.hpp"
+#include "service/sort_service.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+namespace api = bsort::api;
+namespace fault = bsort::fault;
+namespace service = bsort::service;
+
+std::vector<std::uint32_t> request_keys(std::size_t n, std::uint64_t seed) {
+  return bsort::util::generate_keys(n, bsort::util::KeyDistribution::kUniform31,
+                                    seed);
+}
+
+service::ServiceConfig small_service() {
+  service::ServiceConfig cfg;
+  cfg.base.nprocs = 4;
+  cfg.base.algorithm = api::Algorithm::kSmartBitonic;
+  cfg.pool_size = 2;
+  cfg.max_batch = 8;
+  return cfg;
+}
+
+TEST(SortService, SortsManyConcurrentRequests) {
+  service::SortService svc(small_service());
+  struct Pending {
+    std::vector<std::uint32_t> want;
+    std::future<service::SortResult> fut;
+  };
+  std::vector<Pending> pending;
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    // Sizes deliberately include non-powers-of-two and sub-P counts.
+    const std::size_t n = 3 + (i * 37) % 900;
+    auto keys = request_keys(n, i);
+    Pending p;
+    p.want = keys;
+    std::sort(p.want.begin(), p.want.end());
+    p.fut = svc.submit(std::move(keys));
+    pending.push_back(std::move(p));
+  }
+  for (auto& p : pending) {
+    const auto res = p.fut.get();
+    EXPECT_EQ(res.keys, p.want);
+    EXPECT_GE(res.batch_items, 1);
+    EXPECT_GE(res.total_us, 0.0);
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 48u);
+  EXPECT_EQ(stats.completed, 48u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  // Batching may not beat the dispatcher under light load, but it can
+  // never exceed one run per request.
+  EXPECT_LE(stats.batches, stats.completed);
+}
+
+TEST(SortService, CoalescesQueuedRequestsIntoSharedRuns) {
+  auto cfg = small_service();
+  cfg.pool_size = 1;  // a single machine serializes dispatch
+  cfg.max_batch = 8;
+  service::SortService svc(cfg);
+
+  // Occupy the machine with a large request; everything submitted while
+  // it runs must coalesce into (at most) one shared follow-up batch.
+  auto big = svc.submit(request_keys(std::size_t{1} << 16, 7));
+  std::vector<std::future<service::SortResult>> small;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    small.push_back(svc.submit(request_keys(64, 100 + i)));
+  }
+  big.get();
+  int max_batch_items = 0;
+  for (auto& f : small) {
+    max_batch_items = std::max(max_batch_items, f.get().batch_items);
+  }
+  EXPECT_GE(max_batch_items, 2)
+      << "requests queued behind a running sort should share one run";
+  EXPECT_GE(svc.stats().batch_occupancy_max, 2.0);
+}
+
+TEST(SortService, PadsArbitrarySizesIncludingPadKeyCollisions) {
+  service::SortService svc(small_service());
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{100},
+                              std::size_t{1000}, std::size_t{1} << 12,
+                              (std::size_t{1} << 12) + 1}) {
+    auto keys = request_keys(n, n);
+    auto want = keys;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(svc.submit(std::move(keys)).get().keys, want) << "n=" << n;
+  }
+  // All keys equal to the pad sentinel: unpadding must still drop
+  // exactly the pad count, not every max-valued key.
+  std::vector<std::uint32_t> all_max(37, 0xFFFFFFFFu);
+  const auto res = svc.submit(all_max).get();
+  EXPECT_EQ(res.keys, all_max);
+
+  EXPECT_TRUE(svc.submit({}).get().keys.empty());
+}
+
+TEST(SortService, ShardsOversizedRequestsAcrossThePool) {
+  auto cfg = small_service();
+  cfg.shard_threshold = std::size_t{1} << 14;
+  cfg.shards_per_request = 4;
+  service::SortService svc(cfg);
+
+  auto keys = request_keys(std::size_t{1} << 15, 9);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  const auto res = svc.submit(std::move(keys)).get();
+  EXPECT_EQ(res.keys, want);
+  EXPECT_GE(res.shards, 2);
+  EXPECT_EQ(svc.stats().sharded, 1u);
+
+  // Below the threshold: untouched.
+  auto small = request_keys(256, 10);
+  auto small_want = small;
+  std::sort(small_want.begin(), small_want.end());
+  const auto small_res = svc.submit(std::move(small)).get();
+  EXPECT_EQ(small_res.keys, small_want);
+  EXPECT_EQ(small_res.shards, 1);
+}
+
+TEST(SortService, LocalPlacementServesSmallRequestsCorrectly) {
+  auto cfg = small_service();
+  cfg.base.small_item_threshold = 2048;  // batch scheduler may place locally
+  service::SortService svc(cfg);
+  std::vector<std::pair<std::vector<std::uint32_t>, std::future<service::SortResult>>>
+      pending;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    auto keys = request_keys(100 + (i * 53) % 500, i);
+    auto want = keys;
+    std::sort(want.begin(), want.end());
+    auto fut = svc.submit(std::move(keys));
+    pending.emplace_back(std::move(want), std::move(fut));
+  }
+  for (auto& [want, fut] : pending) EXPECT_EQ(fut.get().keys, want);
+  EXPECT_EQ(svc.stats().completed, 32u);
+  EXPECT_EQ(svc.stats().failed, 0u);
+}
+
+TEST(SortService, QueueFullRejectsAtSubmit) {
+  auto cfg = small_service();
+  cfg.pool_size = 1;
+  cfg.max_batch = 1;
+  cfg.queue_limit = 2;
+  service::SortService svc(cfg);
+
+  // Park the machine on a big sort, then overfill the tiny queue.
+  auto big = svc.submit(request_keys(std::size_t{1} << 16, 3));
+  std::vector<std::future<service::SortResult>> accepted;
+  bool rejected = false;
+  for (int i = 0; i < 16 && !rejected; ++i) {
+    try {
+      accepted.push_back(svc.submit(request_keys(64, 40 + i)));
+    } catch (const service::QueueFull& e) {
+      rejected = true;
+      EXPECT_EQ(e.limit(), 2u);
+      EXPECT_NE(std::string(e.what()).find("queue full"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(rejected) << "16 submits against queue_limit=2 must overflow";
+  EXPECT_GE(svc.stats().rejected_queue_full, 1u);
+
+  // Everything admitted still completes: rejection sheds load, it does
+  // not poison the pool.
+  big.get();
+  for (auto& f : accepted) EXPECT_FALSE(f.get().keys.empty());
+}
+
+TEST(SortService, ExpiredDeadlineRejectsStructurallyAndPoolKeepsServing) {
+  auto cfg = small_service();
+  cfg.pool_size = 1;
+  service::SortService svc(cfg);
+
+  // Queue the doomed request behind a long-running one so its
+  // (effectively immediate) deadline expires before dispatch.
+  auto big = svc.submit(request_keys(std::size_t{1} << 16, 5));
+  auto doomed = svc.submit(request_keys(128, 6), {/*deadline_s=*/1e-9});
+  try {
+    doomed.get();
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const service::DeadlineExceeded& e) {
+    EXPECT_DOUBLE_EQ(e.deadline_seconds(), 1e-9);
+    EXPECT_GT(e.waited_seconds(), 0.0);
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+  big.get();
+
+  // The pool is still serving afterwards.
+  auto after = request_keys(512, 8);
+  auto want = after;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(svc.submit(std::move(after)).get().keys, want);
+
+  const auto stats = svc.stats();
+  EXPECT_GE(stats.rejected_deadline, 1u);
+  EXPECT_EQ(stats.failed, 0u) << "a queue-side deadline rejection is not a run failure";
+
+  // A generous deadline passes through untouched.
+  auto easy = request_keys(256, 12);
+  auto easy_want = easy;
+  std::sort(easy_want.begin(), easy_want.end());
+  EXPECT_EQ(svc.submit(std::move(easy), {/*deadline_s=*/60.0}).get().keys, easy_want);
+}
+
+TEST(SortService, RunFailureDeliversStructuredErrorAndMachineSurvives) {
+  auto cfg = small_service();
+  cfg.pool_size = 1;
+  static fault::FaultPlan plan;  // outlives every batch run
+  plan.rules = {{fault::FaultKind::kCrash, /*rank=*/1, /*exchange=*/0}};
+  cfg.base.faults = &plan;
+  cfg.base.watchdog_seconds = 60.0;
+  service::SortService svc(cfg);
+
+  // Sequential submits so each request is its own batch: the second
+  // being served at all proves the machine survived the first's crash.
+  for (int i = 0; i < 2; ++i) {
+    auto fut = svc.submit(request_keys(256, static_cast<std::uint64_t>(i)));
+    EXPECT_THROW(fut.get(), bsort::Error) << "round " << i;
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(SortService, StatsAreCoherent) {
+  service::SortService svc(small_service());
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    svc.submit(request_keys(100 + i, i)).get();
+  }
+  const auto s = svc.stats();
+  EXPECT_EQ(s.submitted, 12u);
+  EXPECT_EQ(s.completed, 12u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.pool_size, 2);
+  EXPECT_GT(s.uptime_s, 0.0);
+  EXPECT_GT(s.sorts_per_sec, 0.0);
+  EXPECT_LE(s.total_p50_us, s.total_p95_us);
+  EXPECT_LE(s.total_p95_us, s.total_p99_us);
+  EXPECT_LE(s.total_p99_us, s.total_max_us);
+  EXPECT_GE(s.batch_occupancy_mean, 1.0);
+  EXPECT_GE(s.batch_occupancy_max, s.batch_occupancy_mean);
+}
+
+TEST(SortService, SubmitAfterShutdownThrows) {
+  service::SortService svc(small_service());
+  auto fut = svc.submit(request_keys(128, 1));
+  svc.shutdown();
+  EXPECT_FALSE(fut.get().keys.empty()) << "shutdown drains queued work";
+  EXPECT_THROW(svc.submit(request_keys(8, 2)), service::ServiceStopped);
+  svc.shutdown();  // idempotent
+}
+
+TEST(SortService, RejectsUnschedulableConstruction) {
+  auto cfg = small_service();
+  cfg.pool_size = 0;
+  EXPECT_THROW(service::SortService bad(cfg), bsort::ConfigError);
+
+  auto cfg2 = small_service();
+  cfg2.base.nprocs = 3;  // not a power of two: no padded shape exists
+  EXPECT_THROW(service::SortService bad2(cfg2), bsort::ConfigError);
+}
+
+}  // namespace
