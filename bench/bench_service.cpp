@@ -169,8 +169,16 @@ int main(int argc, char** argv) {
 
     std::vector<std::future<service::SortResult>> futures;
     for (std::uint64_t i = 0; i < kRequests; ++i) {
-      futures.push_back(svc.submit(bsort::util::generate_keys(
-          kKeysPerRequest, bsort::util::KeyDistribution::kUniform31, i)));
+      // Alternate QoS classes so both per-class latency histograms are
+      // populated; with no overload every request completes either way.
+      service::SubmitOptions opt;
+      opt.priority = (i % 2 != 0) ? service::Priority::kLow
+                                  : service::Priority::kHigh;
+      futures.push_back(
+          svc.submit(bsort::util::generate_keys(
+                         kKeysPerRequest,
+                         bsort::util::KeyDistribution::kUniform31, i),
+                     opt));
     }
     // One oversized request exercises the splitter sharding path.
     futures.push_back(svc.submit(bsort::util::generate_keys(
@@ -187,6 +195,15 @@ int main(int argc, char** argv) {
     report.add_count("demo/completed", static_cast<double>(stats.completed));
     report.add_count("demo/failed", static_cast<double>(stats.failed));
     report.add_count("demo/sharded", static_cast<double>(stats.sharded));
+    // Self-healing counters: all deterministically ZERO on this clean,
+    // deadline-free load — any retry, shed, cancel or quarantine here
+    // is a regression the exact-count gate must catch on every leg.
+    report.add_count("demo/retries", static_cast<double>(stats.retries));
+    report.add_count("demo/shed", static_cast<double>(stats.shed));
+    report.add_count("demo/cancelled", static_cast<double>(stats.cancelled));
+    report.add_count("demo/quarantined",
+                     static_cast<double>(stats.quarantined));
+    report.add_count("demo/replaced", static_cast<double>(stats.replaced));
     report.add_time("demo/total_p50_us", stats.total_p50_us);
     report.add_time("demo/total_p95_us", stats.total_p95_us);
     report.add_time("demo/total_p99_us", stats.total_p99_us);
@@ -197,6 +214,12 @@ int main(int argc, char** argv) {
                     "items");
     report.add_time("demo/batch_occupancy_max", stats.batch_occupancy_max,
                     "items");
+    report.add_time("demo/high_p50_us", stats.high_p50_us);
+    report.add_time("demo/high_p95_us", stats.high_p95_us);
+    report.add_time("demo/high_p99_us", stats.high_p99_us);
+    report.add_time("demo/low_p50_us", stats.low_p50_us);
+    report.add_time("demo/low_p95_us", stats.low_p95_us);
+    report.add_time("demo/low_p99_us", stats.low_p99_us);
 
     std::cout << "  \"service_completed\": " << stats.completed << ",\n"
               << "  \"service_total_p50_us\": " << stats.total_p50_us << ",\n"

@@ -1,0 +1,72 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/error.hpp"
+
+namespace bsort::fault {
+
+namespace {
+
+/// splitmix64: the standard 64-bit finalizer; good enough to
+/// decorrelate jitter across (seed, attempt) pairs and fully
+/// deterministic on every platform.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* failure_class_name(FailureClass c) {
+  return c == FailureClass::kRetryable ? "retryable" : "terminal";
+}
+
+FailureClass classify_failure(const std::exception_ptr& error) noexcept {
+  if (!error) return FailureClass::kTerminal;
+  try {
+    std::rethrow_exception(error);
+  } catch (const ConfigError&) {
+    return FailureClass::kTerminal;  // same config, same failure
+  } catch (const BarrierTimeout&) {
+    return FailureClass::kRetryable;  // straggler / wedged peer
+  } catch (const IntegrityError&) {
+    return FailureClass::kRetryable;  // transient payload damage
+  } catch (const ExchangeError&) {
+    return FailureClass::kRetryable;  // crash observed mid-protocol
+  } catch (...) {
+    // Unknown Error subtypes (including service-level errors such as
+    // DeadlineExceeded) and non-bsort exceptions: no retry.
+    return FailureClass::kTerminal;
+  }
+}
+
+bool is_retryable(const std::exception_ptr& error) noexcept {
+  return classify_failure(error) == FailureClass::kRetryable;
+}
+
+double backoff_ms(const RetryPolicy& policy, int attempt,
+                  std::uint64_t seed) noexcept {
+  if (attempt < 1) attempt = 1;
+  // base * 2^(attempt-1), saturating well before the double overflows.
+  const int shift = std::min(attempt - 1, 40);
+  double delay = policy.base_ms * std::ldexp(1.0, shift);
+  delay = std::min(delay, policy.max_ms);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter > 0) {
+    // Uniform in [0, 1) from the hash; jitter shortens, never lengthens,
+    // so the cap still bounds the worst case.
+    const double u =
+        static_cast<double>(mix64(seed ^ (static_cast<std::uint64_t>(attempt)
+                                          << 32)) >>
+                            11) /
+        9007199254740992.0;  // 2^53
+    delay *= 1.0 - jitter * u;
+  }
+  return std::max(delay, 0.0);
+}
+
+}  // namespace bsort::fault

@@ -1,0 +1,67 @@
+// Failure taxonomy and retry policy: the seam between "an error
+// happened" and "what a supervisor should DO about it".
+//
+// The bsort::Error hierarchy (error.hpp) tells a caller what went
+// wrong; this header tells a *retry loop* whether going again can
+// help.  The classification follows the BSP superstep cost argument
+// (Gerbessiotis & Siniolakis): a failed superstep batch is cheap to
+// re-run as long as the inputs survive, so any failure that names a
+// TRANSIENT cause — a straggler that tripped the watchdog, a payload
+// that failed its integrity checksum, a crashed exchange — is worth
+// one more superstep.  Failures that name a DETERMINISTIC cause
+// (a caller-side contract violation) will recur identically on every
+// attempt and must fail fast:
+//
+//   retryable — BarrierTimeout (a straggler or wedged peer; the next
+//               run usually is not stuck), IntegrityError (corruption
+//               is injected/transient by construction: the sender's
+//               sealed checksum proves the DATA was right when it
+//               left), ExchangeError (a crash fault or malformed
+//               exchange observed mid-protocol);
+//   terminal  — ConfigError (the same config fails the same way every
+//               time), any unrecognized Error subtype (unknown causes
+//               don't earn retries; service-level errors such as
+//               DeadlineExceeded land here by design), and any
+//               non-bsort exception.
+//
+// The backoff schedule is capped exponential with deterministic
+// jitter: attempt k waits base * 2^k, clamped to `max_ms`, then
+// jittered downward by up to `jitter` of itself using a splitmix64
+// hash of (seed, attempt) — deterministic given the seed, so chaos
+// tests replay identically, while distinct requests (distinct seeds)
+// still decorrelate their retry storms.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+
+namespace bsort::fault {
+
+enum class FailureClass : std::uint8_t {
+  kRetryable = 0,  ///< transient: a re-run may succeed
+  kTerminal = 1,   ///< deterministic: a re-run fails identically
+};
+
+const char* failure_class_name(FailureClass c);
+
+/// Classify a captured exception.  Null classifies as terminal (there
+/// is nothing to retry).  Never throws.
+FailureClass classify_failure(const std::exception_ptr& error) noexcept;
+
+/// classify_failure(error) == kRetryable.
+bool is_retryable(const std::exception_ptr& error) noexcept;
+
+/// Capped exponential backoff with deterministic jitter.
+struct RetryPolicy {
+  int max_retries = 2;      ///< re-runs after the first attempt; 0 = no retry
+  double base_ms = 1.0;     ///< delay before the first retry
+  double max_ms = 50.0;     ///< cap on the un-jittered delay
+  double jitter = 0.5;      ///< fraction of the delay jittered away [0, 1]
+};
+
+/// Delay before retry number `attempt` (1-based: the first retry is
+/// attempt 1).  Deterministic in (policy, attempt, seed).
+double backoff_ms(const RetryPolicy& policy, int attempt,
+                  std::uint64_t seed) noexcept;
+
+}  // namespace bsort::fault

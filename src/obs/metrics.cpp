@@ -77,6 +77,7 @@ void ServiceMetrics::clear() {
   run_us.clear();
   total_us.clear();
   batch_occupancy.clear();
+  for (auto& h : class_total_us) h.clear();
   submitted = 0;
   completed = 0;
   failed = 0;
@@ -84,6 +85,12 @@ void ServiceMetrics::clear() {
   rejected_deadline = 0;
   batches = 0;
   sharded = 0;
+  retries = 0;
+  shed = 0;
+  cancelled = 0;
+  quarantined = 0;
+  replaced = 0;
+  health_checks = 0;
 }
 
 double exact_quantile(std::vector<double> values, double q) {

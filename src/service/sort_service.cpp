@@ -5,10 +5,12 @@
 #include <condition_variable>
 #include <exception>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "backend/backend.hpp"
+#include "util/random.hpp"
 
 namespace bsort::service {
 
@@ -21,8 +23,16 @@ using Clock = std::chrono::steady_clock;
 /// real keys equal the pad value.
 constexpr std::uint32_t kPadKey = std::numeric_limits<std::uint32_t>::max();
 
+/// Seed for the deterministic health-check run after a failed batch.
+constexpr std::uint64_t kHealthSeed = 0x6865616c7468ull;  // "health"
+
 double us_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+Clock::duration from_seconds(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
 }
 
 }  // namespace
@@ -39,7 +49,9 @@ DeadlineExceeded::DeadlineExceeded(const std::string& what,
 /// One submitted request.  Shards of a sharded request are independent
 /// queue fragments (possibly served by different pool machines), so the
 /// reassembly state lives here behind its own mutex; the promise is
-/// settled exactly once (`done`), first failure wins.
+/// settled exactly once (`done`), first failure wins.  `done_flag`
+/// mirrors `done` so dispatchers can cancel queued siblings of a failed
+/// request without taking the request mutex.
 struct SortService::Request {
   std::promise<SortResult> promise;
   Clock::time_point submitted{};
@@ -47,6 +59,11 @@ struct SortService::Request {
   Clock::time_point deadline{};
   std::size_t total_keys = 0;
   int shards = 1;
+  Priority priority = Priority::kHigh;
+  std::uint64_t id = 0;  ///< admission ordinal; seeds retry jitter
+
+  std::atomic<int> retries_used{0};   ///< per-request retry budget consumed
+  std::atomic<bool> done_flag{false};  ///< lock-free mirror of `done`
 
   std::mutex m;
   bool done = false;
@@ -81,6 +98,17 @@ SortService::SortService(ServiceConfig config)
         "enabled (got " +
         std::to_string(config_.shards_per_request) + ")");
   }
+  if (config_.retry.max_retries < 0) {
+    throw ConfigError("SortService: retry.max_retries must be >= 0 (got " +
+                      std::to_string(config_.retry.max_retries) + ")");
+  }
+  if (config_.quarantine_after < 1) {
+    throw ConfigError("SortService: quarantine_after must be >= 1 (got " +
+                      std::to_string(config_.quarantine_after) + ")");
+  }
+  const double lo_frac = std::clamp(config_.low_priority_admission, 0.0, 1.0);
+  low_limit_ = static_cast<std::size_t>(
+      static_cast<double>(config_.queue_limit) * lo_frac);
   // Fail construction, not the first submit, on an unschedulable base
   // config: probe the smallest shape the padder would ever produce.
   static_cast<void>(padded_size(1));
@@ -88,15 +116,7 @@ SortService::SortService(ServiceConfig config)
   metrics_.clear();
   pool_.reserve(static_cast<std::size_t>(config_.pool_size));
   for (int i = 0; i < config_.pool_size; ++i) {
-    auto& base = config_.base;
-    pool_.push_back(std::make_unique<simd::Machine>(
-        base.nprocs, base.params, base.mode, base.cpu_scale,
-        backend::make(backend::kind_from_env(base.backend))));
-    if (config_.prewarm) {
-      // First-run lazy costs (thread-pool settling, arena growth for
-      // the empty program) are paid here, not by the first request.
-      pool_.back()->run([](simd::Proc&) {});
-    }
+    pool_.push_back(PoolSlot{make_machine(), 0});
   }
   dispatchers_.reserve(pool_.size());
   for (std::size_t i = 0; i < pool_.size(); ++i) {
@@ -106,14 +126,43 @@ SortService::SortService(ServiceConfig config)
 
 SortService::~SortService() { shutdown(); }
 
-void SortService::shutdown() {
+std::unique_ptr<simd::Machine> SortService::make_machine() const {
+  const auto& base = config_.base;
+  auto machine = std::make_unique<simd::Machine>(
+      base.nprocs, base.params, base.mode, base.cpu_scale,
+      backend::make(backend::kind_from_env(base.backend)));
+  if (config_.prewarm) {
+    // First-run lazy costs (thread-pool settling, arena growth for the
+    // empty program) are paid here, not by the first request.
+    machine->run([](simd::Proc&) {});
+  }
+  return machine;
+}
+
+void SortService::shutdown(ShutdownPolicy policy) {
   std::lock_guard<std::mutex> serial(shutdown_mu_);
+  std::vector<Fragment> dropped;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_ && dispatchers_.empty()) return;  // already shut down
     stopping_ = true;
+    if (policy == ShutdownPolicy::kAbort) {
+      abort_ = true;
+      auto grab = [&](std::deque<Fragment>& q) {
+        for (auto& f : q) dropped.push_back(std::move(f));
+        q.clear();
+      };
+      grab(queue_hi_);
+      grab(queue_lo_);
+      grab(retry_);
+    }
   }
   cv_.notify_all();
+  for (auto& f : dropped) {
+    fail_fragment(f, std::make_exception_ptr(ServiceStopped(
+                         "SortService: shutdown(kAbort) failed this queued "
+                         "request before it could dispatch")));
+  }
   for (auto& t : dispatchers_) {
     if (t.joinable()) t.join();
   }
@@ -146,10 +195,10 @@ std::future<SortResult> SortService::submit(std::vector<std::uint32_t> keys,
   auto req = std::make_shared<Request>();
   req->submitted = now;
   req->total_keys = keys.size();
+  req->priority = options.priority;
   if (options.deadline_s > 0) {
     req->deadline_s = options.deadline_s;
-    req->deadline = now + std::chrono::duration_cast<Clock::duration>(
-                              std::chrono::duration<double>(options.deadline_s));
+    req->deadline = now + from_seconds(options.deadline_s);
   }
   auto future = req->promise.get_future();
 
@@ -159,6 +208,7 @@ std::future<SortResult> SortService::submit(std::vector<std::uint32_t> keys,
     ++metrics_.submitted;
     ++metrics_.completed;
     metrics_.total_us.record(0);
+    metrics_.class_total_us[static_cast<int>(options.priority)].record(0);
     req->promise.set_value(SortResult{});
     return future;
   }
@@ -219,20 +269,32 @@ std::future<SortResult> SortService::submit(std::vector<std::uint32_t> keys,
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_) throw ServiceStopped("SortService: submit after shutdown");
-    if (queue_.size() + frags.size() > config_.queue_limit) {
+    // Class-aware admission: the low class only gets its reserved
+    // fraction of the queue, so a low-priority flood cannot starve
+    // high-priority admission.
+    const std::size_t limit = options.priority == Priority::kLow
+                                  ? low_limit_
+                                  : config_.queue_limit;
+    const std::size_t depth = queue_depth_locked();
+    if (depth + frags.size() > limit) {
       ++metrics_.rejected_queue_full;
       std::ostringstream os;
-      os << "SortService: queue full — " << queue_.size() << " fragment(s) "
+      os << "SortService: queue full — " << depth << " fragment(s) "
          << "pending plus " << frags.size() << " new would exceed the "
-         << "queue_limit of " << config_.queue_limit;
-      throw QueueFull(os.str(), queue_.size(), config_.queue_limit);
+         << (options.priority == Priority::kLow ? "low-priority admission cap"
+                                                : "queue_limit")
+         << " of " << limit;
+      throw QueueFull(os.str(), depth, limit);
     }
     ++metrics_.submitted;
+    req->id = metrics_.submitted;
     if (frags.size() > 1) ++metrics_.sharded;
     const auto enq = Clock::now();
+    auto& queue =
+        options.priority == Priority::kLow ? queue_lo_ : queue_hi_;
     for (auto& f : frags) {
       f.enqueued = enq;
-      queue_.push_back(std::move(f));
+      queue.push_back(std::move(f));
     }
   }
   cv_.notify_all();
@@ -241,19 +303,22 @@ std::future<SortResult> SortService::submit(std::vector<std::uint32_t> keys,
 
 void SortService::fail_fragment(Fragment& f, std::exception_ptr error,
                                 bool count_failed) {
-  bool newly_failed = false;
+  // Mirror complete_fragment's order: claim the request under its own
+  // mutex, COUNT under mu_, and only then fulfill the promise — a
+  // caller that catches the failure and immediately calls stats() must
+  // see it counted.  Claiming makes this thread the sole deliverer, so
+  // the promise needs no lock; the two mutexes are never nested.
   {
     std::lock_guard<std::mutex> lk(f.req->m);
-    if (!f.req->done) {
-      f.req->done = true;
-      f.req->promise.set_exception(std::move(error));
-      newly_failed = true;
-    }
+    if (f.req->done) return;
+    f.req->done = true;
+    f.req->done_flag.store(true, std::memory_order_release);
   }
-  if (newly_failed && count_failed) {
+  if (count_failed) {
     std::lock_guard<std::mutex> lk(mu_);
     ++metrics_.failed;
   }
+  f.req->promise.set_exception(std::move(error));
 }
 
 void SortService::complete_fragment(Fragment&& f, double run_us,
@@ -275,6 +340,7 @@ void SortService::complete_fragment(Fragment&& f, double run_us,
     if (--req->parts_pending > 0) return;
 
     req->done = true;
+    req->done_flag.store(true, std::memory_order_release);
     finished = true;
     result.keys.reserve(req->total_keys);
     for (auto& part : req->parts) {
@@ -286,6 +352,8 @@ void SortService::complete_fragment(Fragment&& f, double run_us,
     result.total_us = us_between(req->submitted, now);
     result.batch_items = req->batch_items;
     result.shards = req->shards;
+    result.retries = std::min(req->retries_used.load(std::memory_order_relaxed),
+                              config_.retry.max_retries);
     result.makespan_us = req->makespan_us;
   }
 
@@ -296,55 +364,142 @@ void SortService::complete_fragment(Fragment&& f, double run_us,
       metrics_.queue_us.record(result.queue_us);
       metrics_.run_us.record(result.run_us);
       metrics_.total_us.record(result.total_us);
+      metrics_.class_total_us[static_cast<int>(req->priority)].record(
+          result.total_us);
     }
     req->promise.set_value(std::move(result));
   }
 }
 
-void SortService::dispatch_loop(std::size_t machine_index) {
-  simd::Machine& machine = *pool_[machine_index];
+void SortService::dispatch_loop(std::size_t slot_index) {
+  PoolSlot& slot = pool_[slot_index];
+
+  // A fragment rejected at dispatch (deadline expired in queue, or its
+  // remaining budget is below the observed batch cost).  Failed OUTSIDE
+  // the queue lock: fail_fragment takes the request mutex and mu_.
+  struct Doomed {
+    Fragment f;
+    bool shed = false;  ///< false = expired, true = budget-unmeetable
+  };
+
+  // Ready work: an admitted fragment, or a retry whose backoff elapsed.
+  const auto has_ready = [this](Clock::time_point now) {
+    if (!queue_hi_.empty() || !queue_lo_.empty()) return true;
+    for (const auto& f : retry_) {
+      if (f.not_before <= now) return true;
+    }
+    return false;
+  };
+  const auto earliest_retry = [this] {
+    auto t = Clock::time_point::max();
+    for (const auto& f : retry_) t = std::min(t, f.not_before);
+    return t;
+  };
+  // Pop order: ready retries first (they are the oldest work), then the
+  // high-priority queue, then low — this ordering IS the QoS policy.
+  const auto try_pop = [this](Clock::time_point now) -> std::optional<Fragment> {
+    for (auto it = retry_.begin(); it != retry_.end(); ++it) {
+      if (it->not_before <= now) {
+        Fragment f = std::move(*it);
+        retry_.erase(it);
+        return f;
+      }
+    }
+    if (!queue_hi_.empty()) {
+      Fragment f = std::move(queue_hi_.front());
+      queue_hi_.pop_front();
+      return f;
+    }
+    if (!queue_lo_.empty()) {
+      Fragment f = std::move(queue_lo_.front());
+      queue_lo_.pop_front();
+      return f;
+    }
+    return std::nullopt;
+  };
+
   for (;;) {
     std::vector<Fragment> batch;
+    std::vector<Doomed> doomed;
+    std::vector<Fragment> cancelled;  // destroyed outside the lock
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;  // drained
-        continue;
+      for (;;) {
+        if (abort_) return;
+        if (has_ready(Clock::now())) break;
+        if (stopping_ && queue_depth_locked() == 0) return;  // drained
+        if (retry_.empty()) {
+          cv_.wait(lk);
+        } else {
+          // Only backoff-gated work left: sleep until the earliest
+          // retry matures (or new work / shutdown wakes us).
+          cv_.wait_until(lk, earliest_retry());
+        }
       }
       const auto now = Clock::now();
-      while (batch.size() < config_.max_batch && !queue_.empty()) {
-        Fragment f = std::move(queue_.front());
-        queue_.pop_front();
-        if (f.req->expired(now)) {
-          // Reject without consuming a batch slot or a machine.
-          ++metrics_.rejected_deadline;
-          const double waited =
-              us_between(f.req->submitted, now) / 1e6;
-          std::ostringstream os;
-          os << "SortService: deadline of " << f.req->deadline_s
-             << "s exceeded after waiting " << waited
-             << "s in the queue (request never dispatched)";
-          lk.unlock();
-          fail_fragment(f,
-                        std::make_exception_ptr(DeadlineExceeded(
-                            os.str(), f.req->deadline_s, waited)),
-                        /*count_failed=*/false);
-          lk.lock();
+      while (batch.size() < config_.max_batch) {
+        auto popped = try_pop(now);
+        if (!popped) break;
+        Fragment f = std::move(*popped);
+        if (f.req->done_flag.load(std::memory_order_acquire)) {
+          // Sibling cancellation: the request already failed
+          // terminally, so sorting these keys would serve a future
+          // that is already lost.
+          ++metrics_.cancelled;
+          cancelled.push_back(std::move(f));
           continue;
+        }
+        if (f.req->expired(now)) {
+          ++metrics_.rejected_deadline;
+          doomed.push_back({std::move(f), /*shed=*/false});
+          continue;
+        }
+        if (f.req->has_deadline() && run_ewma_us_ > 0) {
+          // Deadline-aware shedding: if the remaining budget cannot
+          // cover even one observed batch cost, reject now — the
+          // cheapest possible failure, no keys sorted.
+          const double remaining_us =
+              std::chrono::duration<double, std::micro>(f.req->deadline - now)
+                  .count();
+          if (remaining_us < run_ewma_us_) {
+            ++metrics_.shed;
+            doomed.push_back({std::move(f), /*shed=*/true});
+            continue;
+          }
         }
         f.queue_us_tmp = us_between(f.enqueued, now);
         batch.push_back(std::move(f));
       }
     }
+    cancelled.clear();
+    for (auto& d : doomed) {
+      const auto now = Clock::now();
+      const double waited = us_between(d.f.req->submitted, now) / 1e6;
+      std::ostringstream os;
+      if (d.shed) {
+        os << "SortService: shed at dispatch — remaining deadline budget of "
+           << (d.f.req->deadline_s - waited) << "s is below the observed "
+           << "batch cost (request never dispatched this attempt)";
+      } else {
+        os << "SortService: deadline of " << d.f.req->deadline_s
+           << "s exceeded after waiting " << waited << "s in the queue"
+           << (d.f.attempts > 0
+                   ? " awaiting retry " + std::to_string(d.f.attempts)
+                   : " (request never dispatched)");
+      }
+      fail_fragment(d.f,
+                    std::make_exception_ptr(DeadlineExceeded(
+                        os.str(), d.f.req->deadline_s, waited)),
+                    /*count_failed=*/false);
+    }
     if (batch.empty()) continue;
-    run_batch(machine, batch);
+    run_batch(slot, batch);
     cv_.notify_all();  // queue may still hold work for us
   }
 }
 
-void SortService::run_batch(simd::Machine& machine,
-                            std::vector<Fragment>& batch) {
+void SortService::run_batch(PoolSlot& slot, std::vector<Fragment>& batch) {
+  simd::Machine& machine = *slot.machine;
   api::Config cfg = config_.base;
 
   // Arm the barrier watchdog with the tightest remaining deadline
@@ -366,6 +521,21 @@ void SortService::run_batch(simd::Machine& machine,
                                : budget_s;
   }
 
+  // Pre-run key snapshots for fragments whose request still has retry
+  // budget: a failed run leaves keys unspecified (scatter/gather may
+  // have landed partially, faults may have flipped bits), so a retry
+  // must re-sort THIS image, not the wreckage.
+  std::vector<std::vector<std::uint32_t>> backups(batch.size());
+  if (config_.retry.max_retries > 0) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].req->retries_used.load(std::memory_order_relaxed) <
+          config_.retry.max_retries) {
+        backups[i] = batch[i].keys;
+      }
+    }
+  }
+  for (auto& f : batch) ++f.attempts;
+
   std::vector<std::vector<std::uint32_t>*> items;
   items.reserve(batch.size());
   for (auto& f : batch) items.push_back(&f.keys);
@@ -383,12 +553,16 @@ void SortService::run_batch(simd::Machine& machine,
     std::lock_guard<std::mutex> lk(mu_);
     ++metrics_.batches;
     metrics_.batch_occupancy.record(static_cast<double>(batch.size()));
+    if (!error) {
+      // Smoothed batch cost, successful runs only (a watchdog-aborted
+      // run's duration reflects the watchdog, not the work) — this is
+      // the shedding policy's estimate of "one more batch".
+      run_ewma_us_ =
+          run_ewma_us_ == 0 ? run_us : 0.75 * run_ewma_us_ + 0.25 * run_us;
+    }
   }
 
   if (error) {
-    // The whole shared run failed; deadline-carrying riders of a
-    // watchdog abort get the deadline error they asked for, everyone
-    // else the structured run error.
     bool timeout = false;
     try {
       std::rethrow_exception(error);
@@ -396,25 +570,133 @@ void SortService::run_batch(simd::Machine& machine,
       timeout = true;
     } catch (...) {
     }
-    for (auto& f : batch) {
-      if (timeout && f.req->has_deadline()) {
-        const double waited = us_between(f.req->submitted, Clock::now()) / 1e6;
-        std::ostringstream os;
-        os << "SortService: deadline of " << f.req->deadline_s
-           << "s exceeded while running (the batch watchdog fired after "
-           << waited << "s)";
-        fail_fragment(f, std::make_exception_ptr(DeadlineExceeded(
-                             os.str(), f.req->deadline_s, waited)));
-      } else {
-        fail_fragment(f, error);
+    handle_batch_failure(batch, backups, error, timeout);
+
+    // Pool health: a machine that just failed a batch proves itself
+    // with a clean self-check run; repeated failures (or a failed
+    // health check) quarantine it and a fresh machine takes the slot.
+    ++slot.consecutive_failures;
+    const bool healthy = machine_healthy(machine);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++metrics_.health_checks;
+    }
+    if (!healthy || slot.consecutive_failures >= config_.quarantine_after) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++metrics_.quarantined;
+        ++metrics_.replaced;
       }
+      slot.machine = make_machine();  // the old machine is destroyed here
+      slot.consecutive_failures = 0;
     }
     return;
   }
 
+  slot.consecutive_failures = 0;
   const auto n = static_cast<int>(batch.size());
   for (auto& f : batch) {
     complete_fragment(std::move(f), run_us, n, out.report.makespan_us);
+  }
+}
+
+void SortService::handle_batch_failure(
+    std::vector<Fragment>& batch,
+    std::vector<std::vector<std::uint32_t>>& backups, std::exception_ptr error,
+    bool timeout) {
+  const bool retryable =
+      config_.retry.max_retries > 0 && fault::is_retryable(error);
+  const auto now = Clock::now();
+  double ewma_us = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ewma_us = run_ewma_us_;
+  }
+
+  std::vector<Fragment> requeue;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Fragment& f = batch[i];
+    bool retried = false;
+    if (retryable && !backups[i].empty() &&
+        !f.req->done_flag.load(std::memory_order_acquire)) {
+      // The retry cap is per REQUEST: every fragment (shard) draws from
+      // the same budget, so a wide request cannot multiply its retries.
+      const int used =
+          f.req->retries_used.fetch_add(1, std::memory_order_relaxed);
+      if (used < config_.retry.max_retries) {
+        const double delay_ms = fault::backoff_ms(
+            config_.retry, f.attempts,
+            f.req->id ^ (static_cast<std::uint64_t>(f.shard_index) << 48));
+        // Respect the deadline budget: a retry that cannot finish
+        // before the deadline only delays the inevitable failure.
+        bool budget_ok = true;
+        if (f.req->has_deadline()) {
+          const double remaining_us =
+              std::chrono::duration<double, std::micro>(f.req->deadline - now)
+                  .count();
+          budget_ok = remaining_us > delay_ms * 1000.0 + ewma_us;
+        }
+        if (budget_ok) {
+          f.keys = std::move(backups[i]);
+          f.not_before = now + from_seconds(delay_ms / 1000.0);
+          f.enqueued = now;  // queue_us measures the wait of THIS attempt
+          requeue.push_back(std::move(f));
+          retried = true;
+        }
+      }
+    }
+    if (retried) continue;
+
+    // Terminal delivery: deadline-carrying riders of a watchdog abort
+    // get the deadline error they asked for, everyone else the
+    // structured run error.  First failure wins.
+    if (timeout && f.req->has_deadline()) {
+      const double waited = us_between(f.req->submitted, Clock::now()) / 1e6;
+      std::ostringstream os;
+      os << "SortService: deadline of " << f.req->deadline_s
+         << "s exceeded while running (the batch watchdog fired after "
+         << waited << "s)";
+      fail_fragment(f, std::make_exception_ptr(DeadlineExceeded(
+                           os.str(), f.req->deadline_s, waited)));
+    } else {
+      fail_fragment(f, error);
+    }
+  }
+
+  if (requeue.empty()) return;
+  bool aborting = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    aborting = abort_;
+    if (!aborting) {
+      metrics_.retries += requeue.size();
+      for (auto& f : requeue) retry_.push_back(std::move(f));
+    }
+  }
+  if (aborting) {
+    // shutdown(kAbort) landed while this batch was running: nothing
+    // will drain the retry queue, so deliver the original error.
+    for (auto& f : requeue) fail_fragment(f, error);
+  } else {
+    cv_.notify_all();
+  }
+}
+
+bool SortService::machine_healthy(simd::Machine& machine) {
+  api::Config cfg = config_.base;
+  cfg.faults = nullptr;  // the health run must be clean
+  cfg.self_check = true;  // sortedness + multiset fingerprint
+  cfg.integrity = true;
+  cfg.watchdog_seconds =
+      cfg.watchdog_seconds > 0 ? std::min(cfg.watchdog_seconds, 10.0) : 10.0;
+  const std::size_t n =
+      padded_size(static_cast<std::size_t>(config_.base.nprocs) * 16);
+  auto keys =
+      util::generate_keys(n, util::KeyDistribution::kUniform31, kHealthSeed);
+  try {
+    return api::parallel_sort_on(machine, keys, cfg).sorted;
+  } catch (...) {
+    return false;
   }
 }
 
@@ -428,7 +710,13 @@ ServiceStats SortService::stats() const {
   s.rejected_deadline = metrics_.rejected_deadline;
   s.batches = metrics_.batches;
   s.sharded = metrics_.sharded;
-  s.queue_depth = queue_.size();
+  s.retries = metrics_.retries;
+  s.shed = metrics_.shed;
+  s.cancelled = metrics_.cancelled;
+  s.quarantined = metrics_.quarantined;
+  s.replaced = metrics_.replaced;
+  s.health_checks = metrics_.health_checks;
+  s.queue_depth = queue_depth_locked();
   s.pool_size = config_.pool_size;
   s.uptime_s = std::chrono::duration<double>(Clock::now() - start_).count();
   s.sorts_per_sec =
@@ -443,6 +731,14 @@ ServiceStats SortService::stats() const {
   s.total_p95_us = metrics_.total_us.quantile(0.95);
   s.total_p99_us = metrics_.total_us.quantile(0.99);
   s.total_max_us = metrics_.total_us.max();
+  const auto& hi = metrics_.class_total_us[static_cast<int>(Priority::kHigh)];
+  const auto& lo = metrics_.class_total_us[static_cast<int>(Priority::kLow)];
+  s.high_p50_us = hi.quantile(0.50);
+  s.high_p95_us = hi.quantile(0.95);
+  s.high_p99_us = hi.quantile(0.99);
+  s.low_p50_us = lo.quantile(0.50);
+  s.low_p95_us = lo.quantile(0.95);
+  s.low_p99_us = lo.quantile(0.99);
   s.batch_occupancy_mean = metrics_.batch_occupancy.mean();
   s.batch_occupancy_max = metrics_.batch_occupancy.max();
   return s;

@@ -40,8 +40,42 @@
 //     so a stuck run fails structurally instead of wedging the pool;
 //     deadline-carrying requests then receive DeadlineExceeded.
 //
+// And — because production runs are not all perfect runs — the
+// SELF-HEALING layer (DESIGN.md §10):
+//
+//   * FAILURE TAXONOMY — every batch failure is classified through
+//     fault::classify_failure(): BarrierTimeout / IntegrityError /
+//     ExchangeError are transient (a re-run may succeed), ConfigError
+//     and unknown errors are terminal (a re-run fails identically).
+//
+//   * RETRIES — fragments of a retryably-failed batch are re-enqueued
+//     with capped exponential backoff + deterministic jitter
+//     (fault::backoff_ms), bounded by `retry.max_retries` per request
+//     and by the request's remaining deadline budget; pre-run key
+//     snapshots make the re-run sort the ORIGINAL data, not whatever a
+//     crashed run left behind.  Terminal failures are delivered
+//     immediately, first failure wins.
+//
+//   * POOL HEALTH — a machine whose batch failed runs a clean
+//     self-check health run; a machine that fails its health check, or
+//     accumulates `quarantine_after` consecutive batch failures, is
+//     QUARANTINED and REPLACED by a freshly constructed (and
+//     pre-warmed) Machine, so one poisoned pool member can neither
+//     serve traffic nor strand its dispatcher.
+//
+//   * OVERLOAD CONTROL — two QoS classes (SubmitOptions::priority):
+//     high-priority fragments dispatch strictly before low-priority
+//     ones, low-priority admission is capped at a fraction of the
+//     queue, and fragments whose remaining deadline budget is already
+//     below the observed batch cost are SHED at dispatch (cheapest
+//     possible rejection: no keys are sorted for a future that is
+//     already lost).  Under saturation, goodput holds and high-class
+//     p99 stays bounded while the low class degrades first —
+//     bench_service_load measures exactly those curves.
+//
 //   * SLO METRICS — queue/run/total latency histograms (p50/p95/p99),
-//     queue depth, sorts/sec, batch occupancy — recorded through the
+//     per-class latency, retry/shed/quarantine/replace counters, queue
+//     depth, sorts/sec, batch occupancy — recorded through the
 //     obs::ServiceMetrics registry and snapshotted via stats(); the
 //     bench_service harness exports them as a bsort-bench-v1 report.
 //
@@ -62,6 +96,7 @@
 
 #include "api/parallel_sort.hpp"
 #include "fault/error.hpp"
+#include "fault/retry.hpp"
 #include "obs/metrics.hpp"
 
 namespace bsort::service {
@@ -79,7 +114,8 @@ class QueueFull : public Error {
   std::size_t limit_;
 };
 
-/// The request's deadline expired before (or while) it could run;
+/// The request's deadline expired before (or while) it could run, or
+/// its remaining budget was too small to be worth dispatching (shed);
 /// delivered through the request's future.  `waited_seconds` is how
 /// long the request had been in the service when it was rejected.
 class DeadlineExceeded : public Error {
@@ -94,10 +130,27 @@ class DeadlineExceeded : public Error {
   double waited_s_;
 };
 
-/// submit() after shutdown() (or during destruction).
+/// submit() after shutdown(), or a queued request failed by
+/// shutdown(ShutdownPolicy::kAbort) before it could dispatch.
 class ServiceStopped : public Error {
  public:
   using Error::Error;
+};
+
+/// QoS class of a request.  High-priority fragments dispatch strictly
+/// before low-priority ones, and low-priority admission is capped at
+/// `ServiceConfig::low_priority_admission` of the queue — under
+/// overload the low class degrades (sheds) first, keeping the high
+/// class's latency bounded.
+enum class Priority : int {
+  kHigh = 0,
+  kLow = 1,
+};
+
+/// How shutdown() treats work that is still queued.
+enum class ShutdownPolicy {
+  kDrain,  ///< complete everything already admitted (the default)
+  kAbort,  ///< fail queued fragments with ServiceStopped immediately
 };
 
 struct ServiceConfig {
@@ -121,11 +174,27 @@ struct ServiceConfig {
   /// Run one empty program on every pool machine at construction so
   /// the first real request pays no first-run warmup.
   bool prewarm = true;
+
+  // ---- self-healing ------------------------------------------------
+  /// Retry schedule for retryably-failed fragments (fault/retry.hpp).
+  /// `retry.max_retries` is the PER-REQUEST cap across all its
+  /// fragments; 0 disables retrying entirely.
+  fault::RetryPolicy retry;
+
+  /// Quarantine-and-replace a pool machine after this many CONSECUTIVE
+  /// failed batches (a failed health check replaces it immediately).
+  int quarantine_after = 3;
+
+  /// Fraction of `queue_limit` the LOW QoS class may fill before its
+  /// submits are rejected with QueueFull; the high class may use the
+  /// whole queue.  Clamped to [0, 1].
+  double low_priority_admission = 0.5;
 };
 
 /// Per-request submit() options.
 struct SubmitOptions {
   double deadline_s = 0;  ///< relative to submit; 0 = no deadline
+  Priority priority = Priority::kHigh;
 };
 
 /// What a fulfilled future carries.
@@ -138,6 +207,7 @@ struct SortResult {
 
   int batch_items = 1;     ///< occupancy of the shared run that served it
   int shards = 1;          ///< 1 = not sharded
+  int retries = 0;         ///< fragment re-runs this request needed
   double makespan_us = 0;  ///< simulated makespan (max over its runs)
 };
 
@@ -152,6 +222,14 @@ struct ServiceStats {
   std::uint64_t batches = 0;
   std::uint64_t sharded = 0;
 
+  // Resilience counters (DESIGN.md §10).
+  std::uint64_t retries = 0;      ///< fragment re-runs after retryable failure
+  std::uint64_t shed = 0;         ///< dropped at dispatch: budget unmeetable
+  std::uint64_t cancelled = 0;    ///< queued siblings of a failed request
+  std::uint64_t quarantined = 0;  ///< pool members pulled from service
+  std::uint64_t replaced = 0;     ///< fresh machines swapped into the pool
+  std::uint64_t health_checks = 0;  ///< self-check runs after failed batches
+
   std::size_t queue_depth = 0;  ///< pending fragments right now
   int pool_size = 0;
   double uptime_s = 0;
@@ -162,6 +240,10 @@ struct ServiceStats {
   double total_p50_us = 0, total_p95_us = 0, total_p99_us = 0;
   double total_max_us = 0;
 
+  // Per-QoS-class SLO latency (completed requests only).
+  double high_p50_us = 0, high_p95_us = 0, high_p99_us = 0;
+  double low_p50_us = 0, low_p95_us = 0, low_p99_us = 0;
+
   double batch_occupancy_mean = 0;
   double batch_occupancy_max = 0;
 };
@@ -169,7 +251,7 @@ struct ServiceStats {
 class SortService {
  public:
   explicit SortService(ServiceConfig config);
-  ~SortService();  ///< shutdown(): drains the queue, joins dispatchers
+  ~SortService();  ///< shutdown(kDrain): drains the queue, joins dispatchers
 
   SortService(const SortService&) = delete;
   SortService& operator=(const SortService&) = delete;
@@ -185,9 +267,13 @@ class SortService {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
 
-  /// Stop admitting, drain everything already queued, join the
-  /// dispatchers.  Idempotent; the destructor calls it.
-  void shutdown();
+  /// Stop admitting and join the dispatchers.  kDrain (the default,
+  /// also what the destructor runs) completes everything already
+  /// queued, including pending retries; kAbort fails still-queued
+  /// fragments with ServiceStopped immediately — batches already
+  /// running finish, nothing new dispatches.  Idempotent; concurrent
+  /// calls serialize, first policy wins.
+  void shutdown(ShutdownPolicy policy = ShutdownPolicy::kDrain);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -200,33 +286,61 @@ class SortService {
     std::vector<std::uint32_t> keys;  ///< padded to a schedulable shape
     std::size_t real_size = 0;        ///< keys before padding
     std::size_t shard_index = 0;
+    int attempts = 0;  ///< completed run attempts (retries = attempts - 1)
     Clock::time_point enqueued{};
+    Clock::time_point not_before{};  ///< retry backoff gate (epoch = ready)
     double queue_us_tmp = 0;  ///< stamped at dispatch, folded per request
   };
 
-  void dispatch_loop(std::size_t machine_index);
-  void run_batch(simd::Machine& machine, std::vector<Fragment>& batch);
+  /// One pool member and its health state.  After construction every
+  /// field is touched only by the owning dispatcher thread, so machine
+  /// replacement needs no lock.
+  struct PoolSlot {
+    std::unique_ptr<simd::Machine> machine;
+    int consecutive_failures = 0;
+  };
+
+  void dispatch_loop(std::size_t slot_index);
+  void run_batch(PoolSlot& slot, std::vector<Fragment>& batch);
+  /// Classify a failed batch's error per fragment: re-enqueue with
+  /// backoff when retryable and within budget, deliver otherwise.
+  void handle_batch_failure(std::vector<Fragment>& batch,
+                            std::vector<std::vector<std::uint32_t>>& backups,
+                            std::exception_ptr error, bool timeout);
+  /// Clean self-check run on a machine whose batch just failed.
+  bool machine_healthy(simd::Machine& machine);
+  /// Construct (and pre-warm) a fresh pool machine from the base config.
+  [[nodiscard]] std::unique_ptr<simd::Machine> make_machine() const;
   /// Deliver `error` through the fragment's request (first failure
-  /// wins).  `count_failed` is false for queue-side deadline
-  /// rejections, which have their own counter.
+  /// wins).  `count_failed` is false for queue-side rejections
+  /// (deadline expiry, shedding), which have their own counters.
   void fail_fragment(Fragment& f, std::exception_ptr error,
                      bool count_failed = true);
   void complete_fragment(Fragment&& f, double run_us, int batch_items,
                          double makespan_us);
   /// Smallest total >= `size` the base config can schedule.
   [[nodiscard]] std::size_t padded_size(std::size_t size) const;
+  /// Pending fragments across all queues.  Caller holds mu_.
+  [[nodiscard]] std::size_t queue_depth_locked() const {
+    return queue_hi_.size() + queue_lo_.size() + retry_.size();
+  }
 
   ServiceConfig config_;
+  std::size_t low_limit_ = 0;  ///< low-class admission cap (fragments)
   Clock::time_point start_;
 
   std::mutex shutdown_mu_;  ///< serializes concurrent shutdown()
-  mutable std::mutex mu_;   ///< queue + metrics + stopping flag
+  mutable std::mutex mu_;   ///< queues + metrics + stopping flags
   std::condition_variable cv_;
-  std::deque<Fragment> queue_;
+  std::deque<Fragment> queue_hi_;  ///< Priority::kHigh admissions
+  std::deque<Fragment> queue_lo_;  ///< Priority::kLow admissions
+  std::deque<Fragment> retry_;     ///< backoff-gated re-enqueued fragments
   bool stopping_ = false;
+  bool abort_ = false;  ///< shutdown(kAbort): dispatchers exit without draining
+  double run_ewma_us_ = 0;  ///< smoothed batch cost (successful runs only)
   obs::ServiceMetrics metrics_;
 
-  std::vector<std::unique_ptr<simd::Machine>> pool_;
+  std::vector<PoolSlot> pool_;
   std::vector<std::thread> dispatchers_;
 };
 

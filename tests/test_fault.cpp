@@ -17,6 +17,7 @@
 #include "api/parallel_sort.hpp"
 #include "fault/error.hpp"
 #include "fault/plan.hpp"
+#include "fault/retry.hpp"
 #include "simd/machine.hpp"
 #include "util/random.hpp"
 
@@ -567,6 +568,68 @@ TEST(MachineReuse, CleanSortSucceedsAfterInjectedCrashForEveryAlgorithm) {
     EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()))
         << api::algorithm_name(algorithm);
   }
+}
+
+// ---- failure taxonomy + retry policy (fault/retry.hpp) --------------
+
+std::exception_ptr as_ptr(auto&& e) {
+  return std::make_exception_ptr(std::forward<decltype(e)>(e));
+}
+
+TEST(RetryTaxonomy, ClassifiesTransientVsDeterministicFailures) {
+  using fault::FailureClass;
+  // Transient causes: worth one more superstep.
+  EXPECT_EQ(fault::classify_failure(
+                as_ptr(BarrierTimeout(1.0, {}))),
+            FailureClass::kRetryable);
+  EXPECT_EQ(fault::classify_failure(as_ptr(IntegrityError("bit flip"))),
+            FailureClass::kRetryable);
+  EXPECT_EQ(fault::classify_failure(as_ptr(ExchangeError("crash"))),
+            FailureClass::kRetryable);
+  EXPECT_TRUE(fault::is_retryable(as_ptr(ExchangeError("crash"))));
+
+  // Deterministic causes: the same attempt fails the same way.
+  EXPECT_EQ(fault::classify_failure(as_ptr(ConfigError("bad shape"))),
+            FailureClass::kTerminal);
+  // Unknown Error subtypes and non-bsort exceptions don't earn retries.
+  EXPECT_EQ(fault::classify_failure(as_ptr(bsort::Error("unknown"))),
+            FailureClass::kTerminal);
+  EXPECT_EQ(fault::classify_failure(as_ptr(std::runtime_error("plain"))),
+            FailureClass::kTerminal);
+  EXPECT_EQ(fault::classify_failure(nullptr), FailureClass::kTerminal);
+  EXPECT_FALSE(fault::is_retryable(nullptr));
+
+  EXPECT_STREQ(fault::failure_class_name(FailureClass::kRetryable),
+               "retryable");
+  EXPECT_STREQ(fault::failure_class_name(FailureClass::kTerminal), "terminal");
+}
+
+TEST(RetryTaxonomy, BackoffIsCappedExponentialWithDeterministicJitter) {
+  fault::RetryPolicy p;
+  p.base_ms = 2.0;
+  p.max_ms = 16.0;
+  p.jitter = 0.0;
+  // No jitter: exact capped doubling.
+  EXPECT_DOUBLE_EQ(fault::backoff_ms(p, 1, 7), 2.0);
+  EXPECT_DOUBLE_EQ(fault::backoff_ms(p, 2, 7), 4.0);
+  EXPECT_DOUBLE_EQ(fault::backoff_ms(p, 3, 7), 8.0);
+  EXPECT_DOUBLE_EQ(fault::backoff_ms(p, 4, 7), 16.0);
+  EXPECT_DOUBLE_EQ(fault::backoff_ms(p, 5, 7), 16.0);   // capped
+  EXPECT_DOUBLE_EQ(fault::backoff_ms(p, 60, 7), 16.0);  // no overflow
+  EXPECT_DOUBLE_EQ(fault::backoff_ms(p, 0, 7), 2.0);    // clamped to 1
+
+  // Jitter shortens (never lengthens), is deterministic in the seed,
+  // and distinct seeds decorrelate.
+  p.jitter = 0.5;
+  const double a = fault::backoff_ms(p, 3, 42);
+  EXPECT_DOUBLE_EQ(a, fault::backoff_ms(p, 3, 42));
+  EXPECT_GT(a, 8.0 * 0.5 - 1e-12);
+  EXPECT_LE(a, 8.0);
+  bool differs = false;
+  for (std::uint64_t s = 0; s < 8 && !differs; ++s) {
+    differs = fault::backoff_ms(p, 3, s) != a;
+  }
+  EXPECT_TRUE(differs) << "jitter must vary across seeds";
 }
 
 }  // namespace

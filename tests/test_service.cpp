@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "fault/error.hpp"
@@ -271,6 +272,189 @@ TEST(SortService, RejectsUnschedulableConstruction) {
   auto cfg2 = small_service();
   cfg2.base.nprocs = 3;  // not a power of two: no padded shape exists
   EXPECT_THROW(service::SortService bad2(cfg2), bsort::ConfigError);
+
+  auto cfg3 = small_service();
+  cfg3.retry.max_retries = -1;
+  EXPECT_THROW(service::SortService bad3(cfg3), bsort::ConfigError);
+
+  auto cfg4 = small_service();
+  cfg4.quarantine_after = 0;
+  EXPECT_THROW(service::SortService bad4(cfg4), bsort::ConfigError);
+}
+
+TEST(SortService, HighPriorityDispatchesBeforeEarlierLowPriority) {
+  auto cfg = small_service();
+  cfg.pool_size = 1;   // a single machine serializes dispatch
+  cfg.max_batch = 4;   // one batch per class below
+  service::SortService svc(cfg);
+
+  // Park the machine, then enqueue LOW requests FIRST and HIGH second:
+  // FIFO would dispatch the lows first; the class-aware queue must flip
+  // that, which shows up as strictly smaller queue waits for every
+  // high request (lows enqueued earlier AND dispatched later).
+  auto park = svc.submit(request_keys(std::size_t{1} << 17, 3));
+  std::vector<std::future<service::SortResult>> lows;
+  std::vector<std::future<service::SortResult>> highs;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    lows.push_back(svc.submit(request_keys(200, i),
+                              {/*deadline_s=*/0, service::Priority::kLow}));
+  }
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    highs.push_back(svc.submit(request_keys(200, 10 + i),
+                               {/*deadline_s=*/0, service::Priority::kHigh}));
+  }
+  park.get();
+  double max_high_queue_us = 0;
+  for (auto& f : highs) {
+    max_high_queue_us = std::max(max_high_queue_us, f.get().queue_us);
+  }
+  double min_low_queue_us = 1e18;
+  for (auto& f : lows) {
+    min_low_queue_us = std::min(min_low_queue_us, f.get().queue_us);
+  }
+  EXPECT_GT(min_low_queue_us, max_high_queue_us)
+      << "low-priority requests submitted FIRST must still wait longer";
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.completed, 9u);
+  // Both classes completed, so both class histograms are populated.
+  EXPECT_GT(s.high_p99_us, 0.0);
+  EXPECT_GT(s.low_p99_us, 0.0);
+}
+
+TEST(SortService, LowPriorityAdmissionIsCappedBelowQueueLimit) {
+  auto cfg = small_service();
+  cfg.pool_size = 1;
+  cfg.max_batch = 1;
+  cfg.queue_limit = 8;
+  cfg.low_priority_admission = 0.25;  // low may fill only 2 slots
+  service::SortService svc(cfg);
+
+  auto park = svc.submit(request_keys(std::size_t{1} << 16, 3));
+  std::vector<std::future<service::SortResult>> accepted;
+  int low_rejected = 0;
+  for (int i = 0; i < 8; ++i) {
+    try {
+      accepted.push_back(
+          svc.submit(request_keys(64, 40 + static_cast<std::uint64_t>(i)),
+                     {/*deadline_s=*/0, service::Priority::kLow}));
+    } catch (const service::QueueFull& e) {
+      ++low_rejected;
+      EXPECT_EQ(e.limit(), 2u);
+    }
+  }
+  EXPECT_GE(low_rejected, 6) << "low admission must cap at 25% of the queue";
+  // High-priority still has the whole queue at its disposal.
+  for (int i = 0; i < 4; ++i) {
+    accepted.push_back(
+        svc.submit(request_keys(64, 80 + static_cast<std::uint64_t>(i)),
+                   {/*deadline_s=*/0, service::Priority::kHigh}));
+  }
+  park.get();
+  for (auto& f : accepted) EXPECT_FALSE(f.get().keys.empty());
+  EXPECT_GE(svc.stats().rejected_queue_full, 6u);
+}
+
+TEST(SortService, ShedsRequestsWhoseBudgetCannotCoverABatch) {
+  auto cfg = small_service();
+  cfg.pool_size = 1;
+  service::SortService svc(cfg);
+
+  // Teach the dispatcher's batch-cost EWMA a LARGE cost E with one big
+  // completed request, then offer tiny requests whose ENTIRE deadline
+  // is a fraction of E: unexpired at dispatch (the machine is idle, so
+  // queue wait is microseconds), but with a remaining budget no batch
+  // estimate says is meetable — the shed window, independent of host
+  // speed because both sides of the comparison come from this run.
+  const auto first =
+      svc.submit(request_keys(std::size_t{1} << 17, 1)).get();
+  const double e_s = first.run_us / 1e6;
+
+  std::vector<std::future<service::SortResult>> doomed;
+  for (const double mult : {0.2, 0.35, 0.5}) {
+    doomed.push_back(svc.submit(request_keys(64, 7),
+                                {/*deadline_s=*/mult * e_s}));
+  }
+  int deadline_errors = 0;
+  for (auto& f : doomed) {
+    try {
+      f.get();
+    } catch (const service::DeadlineExceeded&) {
+      ++deadline_errors;
+    }
+  }
+  const auto s = svc.stats();
+  EXPECT_EQ(deadline_errors, 3);
+  EXPECT_GE(s.shed, 1u) << "an unexpired but unmeetable budget must shed "
+                        << "(shed=" << s.shed
+                        << " rejected_deadline=" << s.rejected_deadline << ")";
+  EXPECT_EQ(s.shed + s.rejected_deadline, 3u);
+  EXPECT_EQ(s.failed, 0u) << "shedding is not a run failure";
+
+  // And the pool still serves.
+  auto after = request_keys(256, 9);
+  auto want = after;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(svc.submit(std::move(after)).get().keys, want);
+}
+
+TEST(SortService, CancelsQueuedSiblingShardsOfAFailedRequest) {
+  auto cfg = small_service();
+  cfg.pool_size = 1;
+  cfg.max_batch = 1;  // each shard dispatches as its own batch
+  cfg.shard_threshold = 1024;
+  cfg.shards_per_request = 4;
+  cfg.retry.max_retries = 0;  // first failure is terminal
+  static fault::FaultPlan plan;  // outlives every batch run
+  plan.rules = {{fault::FaultKind::kCrash, /*rank=*/1, /*exchange=*/0}};
+  cfg.base.faults = &plan;
+  cfg.base.watchdog_seconds = 60.0;
+  service::SortService svc(cfg);
+
+  // The first shard's batch crashes and fails the request terminally;
+  // its still-queued siblings must be dropped at dispatch instead of
+  // sorting keys whose future is already failed.
+  auto fut = svc.submit(request_keys(4096, 11));
+  EXPECT_THROW(fut.get(), bsort::Error);
+  // Drain: all sibling fragments have passed through dispatch.
+  svc.shutdown();
+  const auto s = svc.stats();
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_GE(s.cancelled, 1u)
+      << "queued siblings of the failed request must be cancelled";
+  EXPECT_LT(s.batches, 4u) << "cancelled shards must not consume runs";
+}
+
+TEST(SortService, ShutdownAbortFailsQueuedRequestsImmediately) {
+  auto cfg = small_service();
+  cfg.pool_size = 1;
+  service::SortService svc(cfg);
+
+  // Park the machine; everything queued behind it is aborted, while the
+  // in-flight request is allowed to finish.  Wait for the park to leave
+  // the queue so the abort cannot race its dispatch and fail it too.
+  auto park = svc.submit(request_keys(std::size_t{1} << 18, 5));
+  while (svc.stats().queue_depth != 0) std::this_thread::yield();
+  std::vector<std::future<service::SortResult>> queued;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    queued.push_back(svc.submit(request_keys(128, i)));
+  }
+  svc.shutdown(service::ShutdownPolicy::kAbort);
+
+  EXPECT_FALSE(park.get().keys.empty()) << "the running batch completes";
+  int stopped = 0;
+  for (auto& f : queued) {
+    try {
+      f.get();
+      ADD_FAILURE() << "a queued request survived shutdown(kAbort)";
+    } catch (const service::ServiceStopped&) {
+      ++stopped;
+    }
+  }
+  EXPECT_EQ(stopped, 8);
+  EXPECT_THROW(svc.submit(request_keys(8, 2)), service::ServiceStopped);
+  svc.shutdown(service::ShutdownPolicy::kAbort);  // idempotent
+  svc.shutdown();                                 // and mixed-policy safe
 }
 
 }  // namespace

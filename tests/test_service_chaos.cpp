@@ -1,0 +1,230 @@
+// Service-level chaos: FaultPlans injected into the POOL machines while
+// real concurrent traffic flows through SortService, proving the
+// self-healing contract of DESIGN.md §10 end to end:
+//
+//   * a transient (retryable) crash is absorbed by the retry layer —
+//     the caller's future succeeds and reports the re-runs it cost;
+//   * a machine that keeps failing is quarantined and replaced, and the
+//     replacement serves cleanly;
+//   * under a full crash storm EVERY future still resolves (success or
+//     structured error — never a hang, never a wedged dispatcher), and
+//     once the storm lifts the pool recovers its pre-chaos throughput.
+//
+// FaultPlan mutation protocol: the service's batches read the shared
+// plan only while dispatching, so tests mutate `plan.rules` exclusively
+// at provable idle points (all futures resolved + queue drained, or
+// inside a retry-backoff window much wider than the mutation) and then
+// publish the write through the service mutex with a stats() call
+// before any dispatcher can re-arm the plan.  That keeps the suite
+// clean under TSan, which gates it in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "fault/error.hpp"
+#include "fault/plan.hpp"
+#include "service/sort_service.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+namespace api = bsort::api;
+namespace fault = bsort::fault;
+namespace service = bsort::service;
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::uint32_t> chaos_keys(std::size_t n, std::uint64_t seed) {
+  return bsort::util::generate_keys(n, bsort::util::KeyDistribution::kUniform31,
+                                    seed);
+}
+
+service::ServiceConfig chaos_service(fault::FaultPlan& plan) {
+  service::ServiceConfig cfg;
+  cfg.base.nprocs = 4;
+  cfg.base.algorithm = api::Algorithm::kSmartBitonic;
+  // Keep local placement OFF so every batch item runs the full exchange
+  // schedule — exchange-targeted fault rules must be able to fire.
+  cfg.base.small_item_threshold = 0;
+  cfg.base.faults = &plan;
+  return cfg;
+}
+
+TEST(ServiceChaos, TransientCrashRecoversViaRetry) {
+  fault::FaultPlan plan;  // declared before the service: outlives every run
+  plan.rules = {{fault::FaultKind::kCrash, /*rank=*/1, /*exchange=*/0}};
+  auto cfg = chaos_service(plan);
+  cfg.pool_size = 1;
+  cfg.max_batch = 1;
+  cfg.retry.max_retries = 3;
+  cfg.retry.base_ms = 250;  // a wide idle window for the mutation below
+  cfg.retry.max_ms = 250;
+  cfg.retry.jitter = 0;
+  cfg.quarantine_after = 10;  // health management must not mask the retry
+  service::SortService svc(cfg);
+
+  auto keys = chaos_keys(4096, 1);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  auto fut = svc.submit(std::move(keys));
+
+  // Wait for the first run to crash and its retry to be enqueued; the
+  // dispatcher then sits in a 250 ms backoff wait, during which the
+  // fault "heals": clear the plan and publish the write through the
+  // service mutex before the retry can re-arm it.
+  while (svc.stats().retries < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  plan.rules.clear();
+  static_cast<void>(svc.stats());
+
+  const auto res = fut.get();  // the retry must SUCCEED
+  EXPECT_EQ(res.keys, want);
+  EXPECT_GE(res.retries, 1);
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_GE(s.retries, 1u);
+  EXPECT_GE(s.health_checks, 1u) << "a failed batch must health-check";
+  EXPECT_EQ(s.quarantined, 0u) << "one transient failure is not quarantine";
+}
+
+TEST(ServiceChaos, RepeatOffenderIsQuarantinedAndReplaced) {
+  fault::FaultPlan plan;
+  plan.rules = {{fault::FaultKind::kCrash, /*rank=*/1, /*exchange=*/0}};
+  auto cfg = chaos_service(plan);
+  cfg.pool_size = 1;
+  cfg.max_batch = 1;
+  cfg.retry.max_retries = 1;
+  cfg.retry.base_ms = 5;
+  cfg.retry.max_ms = 5;
+  cfg.retry.jitter = 0;
+  cfg.quarantine_after = 2;  // second consecutive failure pulls the machine
+  service::SortService svc(cfg);
+
+  // The plan crashes EVERY run, so the request fails, its one retry
+  // fails too, and the single pool machine accumulates two consecutive
+  // batch failures: quarantine and replacement, even though the machine
+  // itself would pass a health check (the fault lives in the plan).
+  auto fut = svc.submit(chaos_keys(2048, 2));
+  EXPECT_THROW(fut.get(), bsort::Error);
+
+  const auto deadline = Clock::now() + std::chrono::seconds(30);
+  while (svc.stats().replaced < 1 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto s = svc.stats();
+  EXPECT_GE(s.quarantined, 1u);
+  EXPECT_GE(s.replaced, 1u);
+  EXPECT_GE(s.health_checks, 2u);
+  EXPECT_EQ(s.failed, 1u);
+
+  // Queue is drained and the future resolved: the dispatcher is idle.
+  // Lift the fault and prove the REPLACEMENT machine serves cleanly.
+  plan.rules.clear();
+  static_cast<void>(svc.stats());
+  auto keys = chaos_keys(1024, 3);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  const auto res = svc.submit(std::move(keys)).get();
+  EXPECT_EQ(res.keys, want);
+  EXPECT_EQ(res.retries, 0);
+  EXPECT_EQ(svc.stats().completed, 1u);
+}
+
+TEST(ServiceChaos, CrashStormEveryFutureResolvesAndPoolRecovers) {
+  fault::FaultPlan plan;  // starts EMPTY: pre-chaos traffic is clean
+  auto cfg = chaos_service(plan);
+  cfg.pool_size = 2;
+  cfg.max_batch = 4;
+  cfg.retry.max_retries = 2;
+  cfg.retry.base_ms = 1;
+  cfg.retry.max_ms = 4;
+  cfg.retry.jitter = 0.5;
+  cfg.quarantine_after = 2;
+  service::SortService svc(cfg);
+
+  // One burst of concurrent mixed traffic; returns wall seconds.  With
+  // the plan EMPTY every request must succeed; with the storm armed the
+  // only requirement is that every future RESOLVES.
+  const auto burst = [&svc](int n, std::uint64_t salt,
+                            bool expect_success) -> double {
+    struct Pending {
+      std::vector<std::uint32_t> want;
+      std::future<service::SortResult> fut;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(static_cast<std::size_t>(n));
+    const auto t0 = Clock::now();
+    for (int i = 0; i < n; ++i) {
+      auto keys = chaos_keys(512, salt * 1000 + static_cast<std::uint64_t>(i));
+      Pending p;
+      p.want = keys;
+      std::sort(p.want.begin(), p.want.end());
+      service::SubmitOptions opt;
+      opt.priority = (i % 2 != 0) ? service::Priority::kLow
+                                  : service::Priority::kHigh;
+      if (i % 3 == 0) opt.deadline_s = 30.0;
+      p.fut = svc.submit(std::move(keys), opt);
+      pending.push_back(std::move(p));
+    }
+    for (auto& p : pending) {
+      try {
+        EXPECT_EQ(p.fut.get().keys, p.want);  // resolves or throws — no hang
+      } catch (const bsort::Error&) {
+        EXPECT_FALSE(expect_success) << "clean traffic must not fail";
+      }
+    }
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  // Pre-chaos throughput: best (minimum) wall over three 24-request
+  // bursts — the min is robust against scheduler noise on shared CI.
+  double pre_s = 1e18;
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    pre_s = std::min(pre_s, burst(24, 10 + r, /*expect_success=*/true));
+  }
+
+  // Every pre-chaos future resolved and nothing is queued, so both
+  // dispatchers are idle: arm the storm and publish.  Replacement
+  // machines inherit the SAME shared plan, so the whole pool keeps
+  // crashing (and keeps being quarantined) until the storm lifts.
+  ASSERT_EQ(svc.stats().queue_depth, 0u);
+  plan.rules = {{fault::FaultKind::kCrash, /*rank=*/1, /*exchange=*/0}};
+  static_cast<void>(svc.stats());
+
+  burst(24, 50, /*expect_success=*/false);  // the storm: all futures resolve
+
+  auto s = svc.stats();
+  EXPECT_GE(s.retries, 1u) << "storm failures are retryable and retried";
+  EXPECT_GE(s.quarantined, 1u);
+  EXPECT_GE(s.replaced, 1u);
+  EXPECT_GE(s.failed, 1u);
+
+  // Storm futures all resolved and the queue is drained again: lift the
+  // fault, publish, and require the pool to RECOVER — best-of-N post
+  // wall within 10% of the pre-chaos best (stop early once achieved).
+  ASSERT_EQ(svc.stats().queue_depth, 0u);
+  plan.rules.clear();
+  static_cast<void>(svc.stats());
+
+  double post_s = 1e18;
+  for (std::uint64_t r = 0; r < 6 && post_s > pre_s / 0.9; ++r) {
+    post_s = std::min(post_s, burst(24, 100 + r, /*expect_success=*/true));
+  }
+  EXPECT_LE(post_s, pre_s / 0.9)
+      << "post-chaos throughput must be within 10% of pre-chaos "
+      << "(pre=" << pre_s << "s post=" << post_s << "s)";
+
+  const auto end = svc.stats();
+  EXPECT_EQ(end.failed + end.rejected_deadline + end.shed, 24u)
+      << "exactly the storm burst fails; clean bursts are untouched";
+}
+
+}  // namespace
