@@ -21,6 +21,8 @@
 #include "bitonic/remap_exec.hpp"
 #include "layout/bit_layout.hpp"
 #include "loggp/params.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "simd/machine.hpp"
 #include "util/random.hpp"
 
@@ -445,13 +447,68 @@ int main(int argc, char** argv) {
               << ", \"wall_seconds_armed\": " << rep_on.wall_seconds
               << ", \"wall_ratio_off\": " << (rep_off2.wall_seconds / rep_off.wall_seconds)
               << ", \"wall_ratio_armed\": " << (rep_on.wall_seconds / rep_off.wall_seconds)
-              << "}\n}\n";
+              << "},\n";
     report.add_count("defenses/heap_allocations_armed",
                      static_cast<double>(allocs_on));
     if (allocs_on != 0) {
       std::cerr << "WARNING: defenses-armed steady-state remap performed " << allocs_on
                 << " heap allocations (expected 0)\n";
       return 4;
+    }
+  }
+
+  // ---- flight-recorder + service-metrics allocation audit -------------
+  // The service tier's always-on observability hot path: one
+  // FlightRecorder::record() plus the ServiceMetrics histogram/counter
+  // bumps every dispatched batch pays.  The ring is preallocated at
+  // construction and overwrite-oldest, so after one full wrap (the warm
+  // loop spins past capacity) the measured window must allocate exactly
+  // nothing — the recorder can stay on in production.  ns_per_event is
+  // the absolute price of a fully-loaded record.
+  {
+    obs::FlightRecorder rec(1024);
+    obs::ServiceMetrics sm;
+    sm.clear();
+    const auto event = [&rec](int i) {
+      obs::FlightRecord r;
+      r.kind = obs::FlightEventKind::kDispatched;
+      r.trace_id = 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(i);
+      r.t_us = rec.now_us();
+      r.slot = static_cast<std::uint32_t>(i & 1);
+      r.attempt = 1;
+      r.shard = static_cast<std::uint32_t>(i & 3);
+      r.a = i;
+      r.b = 2;
+      rec.record(r);
+    };
+    for (int i = 0; i < 2048; ++i) event(i);  // wrap the ring: steady state
+
+    const int kEvents = 200000;
+    const std::uint64_t a0 = g_allocs.load();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kEvents; ++i) {
+      event(i);
+      sm.run_us.record(static_cast<double>(i & 1023));
+      sm.batch_occupancy.record(static_cast<double>(1 + (i & 3)));
+      ++sm.batches;
+    }
+    const double ns_per_event =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() * 1e9 / kEvents;
+    const std::uint64_t allocs = g_allocs.load() - a0;
+
+    std::cout << "  \"flight\": {\"capacity\": " << rec.capacity()
+              << ", \"events_recorded\": " << kEvents
+              << ", \"events_retained\": " << rec.size()
+              << ", \"events_dropped\": " << rec.dropped()
+              << ", \"heap_allocations\": " << allocs
+              << ", \"ns_per_event\": " << ns_per_event << "}\n}\n";
+    report.add_count("flight/heap_allocations", static_cast<double>(allocs));
+    report.add_time("flight/ns_per_event", ns_per_event, "ns");
+    if (allocs != 0) {
+      std::cerr << "WARNING: flight-recorder steady state performed " << allocs
+                << " heap allocations (expected 0)\n";
+      return 6;
     }
   }
   if (argc > 1 && !report.write_file(argv[1])) return 1;

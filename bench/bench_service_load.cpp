@@ -40,6 +40,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <string>
@@ -48,6 +49,7 @@
 
 #include "api/parallel_sort.hpp"
 #include "bench_report.hpp"
+#include "fault/plan.hpp"
 #include "service/sort_service.hpp"
 #include "util/random.hpp"
 
@@ -177,6 +179,86 @@ PointResult run_point(const service::ServiceConfig& cfg,
   return out;
 }
 
+/// --obs-prefix demo: one deterministic sharded-and-retried request
+/// whose full lifecycle lands in every observability artifact —
+/// PREFIX_flight.jsonl (recorder dump), PREFIX_telemetry.jsonl +
+/// PREFIX_metrics.prom (sampler thread), PREFIX_perfetto.json (service
+/// timeline with flow arrows following the request through admission,
+/// both shard fragments, the injected crash, and the retry).  The demo
+/// self-gates: the request must shard in two, retry at least once, and
+/// still come back sorted.  Returns 0 on success.
+int run_obs_demo(const std::string& prefix) {
+  namespace fault = bsort::fault;
+  fault::FaultPlan plan;  // outlives the service (shared by every batch)
+  plan.rules = {{fault::FaultKind::kCrash, /*rank=*/1, /*exchange=*/0}};
+
+  service::ServiceConfig cfg;
+  cfg.base.nprocs = 4;
+  cfg.base.algorithm = api::Algorithm::kSmartBitonic;
+  cfg.base.small_item_threshold = 0;  // run exchanges so the crash fires
+  cfg.base.profile_spans = 4096;      // per-VP tracks in the merged trace
+  cfg.base.faults = &plan;
+  cfg.pool_size = 2;
+  cfg.max_batch = 4;
+  cfg.shard_threshold = 4096;  // the 8192-key request shards in two
+  cfg.shards_per_request = 2;
+  cfg.retry.max_retries = 4;
+  cfg.retry.base_ms = 250;  // wide idle window to lift the fault in
+  cfg.retry.max_ms = 250;
+  cfg.retry.jitter = 0;
+  cfg.quarantine_after = 100;  // health management must not eat the demo
+  cfg.flight_dump_path = prefix + "_flight.jsonl";  // dumped at shutdown
+  cfg.telemetry.interval_s = 0.05;
+  cfg.telemetry.jsonl_path = prefix + "_telemetry.jsonl";
+  cfg.telemetry.prom_path = prefix + "_metrics.prom";
+  service::SortService svc(cfg);
+
+  auto keys = bsort::util::generate_keys(
+      8192, bsort::util::KeyDistribution::kUniform31, /*seed=*/42);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  auto fut = svc.submit(std::move(keys));
+
+  // Both shard fragments crash on their first run and land in a 250 ms
+  // retry backoff; once both re-enqueues are visible the dispatchers
+  // are idle, so the fault can "heal" (same mutation protocol as
+  // test_service_chaos: clear, then publish through the service mutex).
+  while (svc.stats().retries < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  plan.rules.clear();
+  static_cast<void>(svc.stats());
+
+  const auto res = fut.get();  // the retried shards must SUCCEED
+  if (!std::is_sorted(res.keys.begin(), res.keys.end()) ||
+      res.shards != 2 || res.retries < 1 || res.trace_id == 0) {
+    std::cerr << "bench_service_load: obs demo request did not "
+                 "shard-and-retry as scripted (shards="
+              << res.shards << " retries=" << res.retries << ")\n";
+    return 1;
+  }
+  const auto s = svc.stats();
+  if (s.flight_recorded == 0) {
+    std::cerr << "bench_service_load: flight recorder stayed empty\n";
+    return 1;
+  }
+  svc.shutdown();  // drains, joins, writes the final telemetry sample
+
+  std::ofstream pf(prefix + "_perfetto.json");
+  svc.export_perfetto(pf);
+  if (!pf) {
+    std::cerr << "bench_service_load: cannot write " << prefix
+              << "_perfetto.json\n";
+    return 1;
+  }
+  std::cerr << "bench_service_load: obs demo artifacts at " << prefix
+            << "_{flight,telemetry}.jsonl, _metrics.prom, _perfetto.json "
+               "(request 0x"
+            << std::hex << res.trace_id << std::dec << ", "
+            << s.flight_recorded << " events)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,17 +266,24 @@ int main(int argc, char** argv) {
 
   const char* out_path = nullptr;
   double duration_ms = 1500;  // per curve point
+  std::string obs_prefix;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--duration-ms" && i + 1 < argc) {
       duration_ms = std::atof(argv[++i]);
+    } else if (arg == "--obs-prefix" && i + 1 < argc) {
+      obs_prefix = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
       out_path = argv[i];
     } else {
-      std::cerr << "usage: bench_service_load [OUT.json] [--duration-ms N]\n";
+      std::cerr << "usage: bench_service_load [OUT.json] [--duration-ms N] "
+                   "[--obs-prefix PREFIX]\n";
       return 2;
     }
   }
+
+  // Observability artifacts first: self-contained, nothing on stdout.
+  if (!obs_prefix.empty() && run_obs_demo(obs_prefix) != 0) return 1;
 
   bench::BenchReport report("service_load");
   const service::ServiceConfig cfg = load_service();

@@ -257,8 +257,32 @@ BatchOutcome run_batch_on(simd::Machine& machine,
     }
   }
 
+  // Which request was a stuck VP serving?  Rank r runs its own local
+  // items plus every scattered item; when those carry exactly one
+  // distinct trace ID (the common case: a batch of one request's
+  // shards, or one local item per VP), a BarrierTimeout's snapshot for
+  // that rank is annotated with it.
+  const auto annotate_owners = [&](const BarrierTimeout& e) -> BarrierTimeout {
+    std::vector<BarrierTimeout::VpSnapshot> states = e.states();
+    for (auto& s : states) {
+      std::uint64_t found = 0;
+      bool unique = true;
+      for (std::size_t it = 0; it < items.size(); ++it) {
+        if (items[it]->empty() || config.batch_item_ids[it] == 0) continue;
+        if (local[it] && owner[it] != static_cast<std::size_t>(s.rank)) continue;
+        if (found == 0) {
+          found = config.batch_item_ids[it];
+        } else if (found != config.batch_item_ids[it]) {
+          unique = false;
+        }
+      }
+      if (unique) s.owner = found;
+    }
+    return {e.deadline_seconds(), std::move(states)};
+  };
+
   BatchOutcome out;
-  out.report = machine.run([&](simd::Proc& p) {
+  const auto run_program = [&](simd::Proc& p) {
     std::vector<std::uint32_t> scratch;  // radix workspace, reused per VP
     for (std::size_t it = 0; it < items.size(); ++it) {
       if (it > 0 && superstep[it] != superstep[it - 1]) {
@@ -305,7 +329,16 @@ BatchOutcome run_batch_on(simd::Machine& machine,
           break;
       }
     }
-  });
+  };
+  if (config.batch_item_ids == nullptr) {
+    out.report = machine.run(run_program);
+  } else {
+    try {
+      out.report = machine.run(run_program);
+    } catch (const BarrierTimeout& e) {
+      throw annotate_owners(e);
+    }
+  }
   if (vector_based) {
     for (std::size_t it = 0; it < items.size(); ++it) {
       auto& keys = *items[it];

@@ -85,6 +85,16 @@ struct Config {
   /// placed items perform no exchanges, so exchange-targeted defenses
   /// and fault rules cannot fire on them.
   std::size_t small_item_threshold = 0;
+
+  /// Optional per-item request trace IDs, parallel to a batch's items
+  /// (not owned; must stay alive through the call; ignored by the
+  /// single-sort entry points).  When set, a BarrierTimeout's per-VP
+  /// diagnosis is annotated with the ID of the request each stuck VP
+  /// was serving — exactly when that is unambiguous: the VP's items
+  /// (its locally-placed ones plus every scattered item) all carry one
+  /// distinct ID.  This is how the service ties a watchdog diagnosis
+  /// back to a request in the flight recorder.
+  const std::uint64_t* batch_item_ids = nullptr;
 };
 
 struct Outcome {

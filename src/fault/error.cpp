@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/json.hpp"
+
 namespace bsort {
 
 namespace {
@@ -40,6 +42,7 @@ std::string timeout_message(double deadline_seconds,
     }
     os << ", " << s.exchanges << " exchanges committed, clock " << s.clock_us
        << "us";
+    if (s.owner != 0) os << ", serving request " << util::hex_id(s.owner);
   }
   return os.str();
 }

@@ -98,6 +98,13 @@ class BarrierTimeout : public Error {
     const char* span = nullptr;   ///< innermost open structural span
     std::int64_t span_arg = -1;   ///< its arg (remap ordinal / stage)
     const char* leaf = nullptr;   ///< innermost open leaf span
+
+    /// Trace ID of the service request whose batch item this VP was
+    /// serving when the watchdog expired (api::Config::batch_item_ids);
+    /// 0 when the run was not dispatched by the service or the VP's
+    /// owner cannot be determined uniquely.  Rendered as
+    /// ", serving request 0x..." in what().
+    std::uint64_t owner = 0;
   };
 
   BarrierTimeout(double deadline_seconds, std::vector<VpSnapshot> states);

@@ -77,6 +77,7 @@ void ServiceMetrics::clear() {
   run_us.clear();
   total_us.clear();
   batch_occupancy.clear();
+  shard_fanout.clear();
   for (auto& h : class_total_us) h.clear();
   submitted = 0;
   completed = 0;

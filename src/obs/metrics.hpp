@@ -136,6 +136,7 @@ struct ServiceMetrics {
   LogHistogram run_us;     ///< dispatch -> completion (host wall)
   LogHistogram total_us;   ///< submit -> completion (the SLO latency)
   LogHistogram batch_occupancy;  ///< requests coalesced per shared run
+  LogHistogram shard_fanout;     ///< fragments per admitted request
 
   /// Per-QoS-class SLO latency, indexed by service::Priority (0 = high,
   /// 1 = low) — the curves the overload-control policy exists to

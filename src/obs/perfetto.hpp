@@ -1,26 +1,41 @@
-// Chrome trace-event exporter: dump a profiled Machine's span rings as
-// a JSON file that chrome://tracing and https://ui.perfetto.dev open
-// directly.
+// Chrome trace-event exporter: dump profiled runs as JSON that
+// chrome://tracing and https://ui.perfetto.dev open directly.
 //
-// Layout: one process (pid 0) whose name is the run label, one track
-// (tid = VP rank) per virtual processor.  Every closed span becomes a
-// complete ("X") event on the simulated-clock timeline — structural
-// spans (local-sort, merge, remap) stack above the leaf slices
-// (compute, pack, exchange, unpack, barrier-wait, straggler) exactly as
-// they nested during the run — and every kFault record becomes a
-// thread-scoped instant ("i") event marking where an injected fault
-// landed.  Span args ride along (remap ordinal / stage number, host
-// thread-CPU duration), so a slice click shows how much host time the
-// simulated slice actually cost.
+// Two entry points share one emitter:
 //
-// Events are emitted per track in begin-timestamp order with enclosing
-// spans first (ties broken by descending duration), which the
-// round-trip test checks; all text goes through util::json_escape, so a
-// hostile label cannot break the file.
+//   * write_perfetto — one Machine's span rings as a single process
+//     (pid = meta.pid, no longer hard-coded 0), one track (tid = VP
+//     rank) per virtual processor.  Every closed span becomes a
+//     complete ("X") event on the simulated-clock timeline —
+//     structural spans (local-sort, merge, remap) stack above the leaf
+//     slices exactly as they nested during the run — and every kFault
+//     record becomes a thread-scoped instant ("i").  Span args ride
+//     along (remap ordinal / stage number, host thread-CPU duration).
+//
+//   * write_service_perfetto — the SERVICE tier and the Machine tier
+//     merged into one trace.  The service is its own process: a queue
+//     track (tid 0) carrying per-request submit/terminal anchor slices
+//     and a queue-depth counter, plus one track per pool slot (tid
+//     1 + slot) carrying batch-run slices annotated with the request
+//     IDs they served.  Each pool Machine is a FURTHER process whose
+//     per-VP tracks are written by the same emitter, time-shifted onto
+//     the service clock.  Flow arrows (ph "s"/"t"/"f", id = the
+//     request's trace ID) link a request's admission through every
+//     dispatch — including retries on other slots — to its terminal
+//     event, so one request's whole life is one clickable chain.
+//
+// Determinism: all metadata ("M") events come first, sorted by
+// (pid, tid); slices follow per track in begin-timestamp order with
+// enclosing spans first (ties broken by descending duration).  The
+// ordering is pinned by test_obs.cpp.  All text goes through
+// util::json_escape, so a hostile label cannot break the file.
 #pragma once
 
 #include <ostream>
 #include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
 
 namespace bsort::simd {
 class Machine;
@@ -31,6 +46,7 @@ namespace bsort::obs {
 /// Run-level annotations for the exported trace.
 struct PerfettoMeta {
   std::string process_name = "bsort";  ///< shown as the process label
+  int pid = 0;                         ///< trace process id of this Machine
 };
 
 /// Write the most recent run's spans of every VP as one trace-event
@@ -38,5 +54,31 @@ struct PerfettoMeta {
 /// must exist); an empty ring simply yields a track with no slices.
 void write_perfetto(std::ostream& os, const simd::Machine& machine,
                     const PerfettoMeta& meta = {});
+
+/// One pool Machine's contribution to a service trace: its last
+/// profiled run's spans, shifted by `ts_offset_us` onto the service
+/// flight-recorder clock (the host time its batch was dispatched).
+/// `machine` may be null (quarantined slot): the process still gets a
+/// name so the track layout stays stable.
+struct ServiceMachineTrack {
+  const simd::Machine* machine = nullptr;
+  std::string name;          ///< process label ("pool slot 1" ...)
+  double ts_offset_us = 0;
+};
+
+/// Service-process annotations for write_service_perfetto.
+struct ServicePerfettoMeta {
+  std::string process_name = "bsort-service";
+  int pid = 0;        ///< service pid; machine i gets pid + 1 + i
+  int pool_size = 0;  ///< slot tracks to name even when idle
+};
+
+/// Merge a service's flight-recorder events (oldest first, as returned
+/// by FlightRecorder::snapshot()) and its pool machines' span rings
+/// into one multi-process trace.  See the header comment for layout.
+void write_service_perfetto(std::ostream& os,
+                            const std::vector<FlightRecord>& events,
+                            const std::vector<ServiceMachineTrack>& machines,
+                            const ServicePerfettoMeta& meta = {});
 
 }  // namespace bsort::obs

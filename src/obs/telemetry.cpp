@@ -1,0 +1,125 @@
+#include "obs/telemetry.hpp"
+
+#include "util/json.hpp"
+
+namespace bsort::obs {
+namespace {
+
+std::string prom_name(std::string_view name) {
+  std::string out = "bsort_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_telemetry_meta(std::ostream& os) {
+  os << "{\"type\":\"meta\",\"schema\":\"bsort-telemetry-v1\"}\n";
+}
+
+void write_telemetry_sample(std::ostream& os, const TelemetrySample& sample,
+                            std::map<std::string, double>& last) {
+  os << "{\"type\":\"sample\",\"t_s\":";
+  util::write_json_number(os, sample.t_s);
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const TelemetryValue& v : sample.values) {
+    if (!v.counter) continue;
+    const auto it = last.find(v.name);
+    // A total below the previous one means the source was reset; the
+    // delta restarts from the new total rather than going negative.
+    const double prev = (it == last.end() || it->second > v.value)
+                            ? 0.0
+                            : it->second;
+    if (!first) os << ",";
+    first = false;
+    util::write_json_string(os, v.name);
+    os << ":{\"total\":";
+    util::write_json_number(os, v.value);
+    os << ",\"delta\":";
+    util::write_json_number(os, v.value - prev);
+    os << "}";
+    last[v.name] = v.value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const TelemetryValue& v : sample.values) {
+    if (v.counter) continue;
+    if (!first) os << ",";
+    first = false;
+    util::write_json_string(os, v.name);
+    os << ":";
+    util::write_json_number(os, v.value);
+  }
+  os << "},\"hists\":{";
+  first = true;
+  for (const TelemetryHist& h : sample.hists) {
+    if (!first) os << ",";
+    first = false;
+    util::write_json_string(os, h.name);
+    os << ":{\"count\":" << h.count << ",\"p50\":";
+    util::write_json_number(os, h.p50);
+    os << ",\"p95\":";
+    util::write_json_number(os, h.p95);
+    os << ",\"p99\":";
+    util::write_json_number(os, h.p99);
+    os << ",\"max\":";
+    util::write_json_number(os, h.max);
+    os << ",\"sum\":";
+    util::write_json_number(os, h.sum);
+    os << "}";
+  }
+  os << "}}\n";
+}
+
+void write_prometheus(std::ostream& os, const TelemetrySample& sample) {
+  for (const TelemetryValue& v : sample.values) {
+    const std::string name =
+        prom_name(v.name) + (v.counter ? "_total" : "");
+    os << "# TYPE " << name << (v.counter ? " counter" : " gauge") << "\n"
+       << name << " ";
+    util::write_json_number(os, v.value);
+    os << "\n";
+  }
+  for (const TelemetryHist& h : sample.hists) {
+    const std::string name = prom_name(h.name);
+    os << "# TYPE " << name << " summary\n";
+    const double qs[3] = {0.5, 0.95, 0.99};
+    const double vs[3] = {h.p50, h.p95, h.p99};
+    for (int i = 0; i < 3; ++i) {
+      os << name << "{quantile=\"" << qs[i] << "\"} ";
+      util::write_json_number(os, vs[i]);
+      os << "\n";
+    }
+    os << name << "_sum ";
+    util::write_json_number(os, h.sum);
+    os << "\n" << name << "_count " << h.count << "\n";
+  }
+}
+
+TelemetryWriter::TelemetryWriter(const std::string& jsonl_path,
+                                 const std::string& prom_path)
+    : prom_path_(prom_path) {
+  if (!jsonl_path.empty()) {
+    jsonl_.open(jsonl_path, std::ios::trunc);
+    if (jsonl_) write_telemetry_meta(jsonl_);
+  }
+}
+
+void TelemetryWriter::write(const TelemetrySample& sample) {
+  if (jsonl_) {
+    write_telemetry_sample(jsonl_, sample, last_);
+    jsonl_.flush();  // bsort_top tails the file while the service runs
+  }
+  if (!prom_path_.empty()) {
+    std::ofstream prom(prom_path_, std::ios::trunc);
+    if (prom) write_prometheus(prom, sample);
+  }
+  ++samples_;
+}
+
+}  // namespace bsort::obs

@@ -1,0 +1,98 @@
+// Periodic telemetry export: ServiceStats sampled on an interval
+// thread into (a) an append-only JSONL time-series and (b) a
+// Prometheus-style text exposition file, for scrape or for
+// tools/bsort_top.py to tail live.
+//
+// The two sinks have opposite semantics and this module keeps both
+// honest:
+//
+//   * JSONL (`bsort-telemetry-v1`) carries counters as {total, delta}
+//     pairs — `total` is the cumulative value at sample time, `delta`
+//     the increase since the PREVIOUS sample (so a dashboard computes
+//     rates without keeping state).  A total that went backwards means
+//     the source was reset; the delta then restarts from the new total
+//     instead of going negative.
+//   * The Prometheus exposition is cumulative-only (counters export
+//     their running total; rate() is the scraper's job), rewritten
+//     atomically-enough (truncate + rewrite) each sample so a scrape
+//     always sees one complete exposition.
+//
+// The sample itself is sink-agnostic — named counters, gauges, and
+// histogram digests — so the formatters are pure functions over it and
+// unit-testable without a running service (test_obs.cpp).  SortService
+// builds one sample per interval from stats() + its internal
+// histograms; nothing here touches service internals.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bsort::obs {
+
+/// One scalar: a monotonically-increasing counter (`counter == true`)
+/// or a point-in-time gauge.
+struct TelemetryValue {
+  std::string name;
+  double value = 0;
+  bool counter = false;
+};
+
+/// One histogram digest (quantiles precomputed by the sampler; the
+/// exposition formats them as a Prometheus summary).
+struct TelemetryHist {
+  std::string name;
+  std::uint64_t count = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+  double sum = 0;
+};
+
+/// One interval's snapshot.  `t_s` is seconds since the source's epoch
+/// (the service start), strictly nondecreasing across samples.
+struct TelemetrySample {
+  double t_s = 0;
+  std::vector<TelemetryValue> values;
+  std::vector<TelemetryHist> hists;
+};
+
+/// JSONL meta line for a new time-series (schema `bsort-telemetry-v1`).
+void write_telemetry_meta(std::ostream& os);
+
+/// Write one sample as a single JSONL line.  `last` carries each
+/// counter's previous total for the delta computation and is updated
+/// in place; pass the same map for every sample of one series.
+void write_telemetry_sample(std::ostream& os, const TelemetrySample& sample,
+                            std::map<std::string, double>& last);
+
+/// Write a complete Prometheus text exposition of one sample (counters
+/// as `bsort_<name>_total`, gauges as `bsort_<name>`, histogram digests
+/// as summaries with quantile labels + `_count`/`_sum`).  Metric names
+/// are sanitized to [a-zA-Z0-9_].
+void write_prometheus(std::ostream& os, const TelemetrySample& sample);
+
+/// Owns the two sinks.  Either path may be empty to disable that sink.
+/// Not thread-safe (the service's telemetry thread is the only caller).
+class TelemetryWriter {
+ public:
+  TelemetryWriter(const std::string& jsonl_path,
+                  const std::string& prom_path);
+
+  /// Append the sample to the JSONL series and rewrite the exposition.
+  void write(const TelemetrySample& sample);
+
+  [[nodiscard]] std::size_t samples_written() const { return samples_; }
+
+ private:
+  std::ofstream jsonl_;
+  std::string prom_path_;
+  std::map<std::string, double> last_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace bsort::obs

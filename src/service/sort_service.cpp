@@ -9,7 +9,11 @@
 #include <sstream>
 #include <utility>
 
+#include <fstream>
+
 #include "backend/backend.hpp"
+#include "obs/perfetto.hpp"
+#include "util/json.hpp"
 #include "util/random.hpp"
 
 namespace bsort::service {
@@ -35,16 +39,56 @@ Clock::duration from_seconds(double s) {
       std::chrono::duration<double>(s));
 }
 
+/// splitmix64 finalizer: turns the admission ordinal into a trace ID
+/// that looks nothing like its neighbors (greppable, and distinct
+/// requests decorrelate wherever the ID seeds jitter) while staying
+/// fully deterministic in admission order.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Append "[request 0x...]" so every service error's text correlates
+/// with the flight recorder by plain grep.
+std::string with_request(const std::string& what, std::uint64_t trace_id) {
+  if (trace_id == 0) return what;
+  return what + " [request " + util::hex_id(trace_id) + "]";
+}
+
+/// FlightRecord::error_class encoding of a captured exception.
+std::uint8_t flight_error_class(const std::exception_ptr& error) {
+  return static_cast<std::uint8_t>(
+      1 + static_cast<int>(fault::classify_failure(error)));
+}
+
 }  // namespace
 
 QueueFull::QueueFull(const std::string& what, std::size_t depth,
-                     std::size_t limit)
-    : Error(what), depth_(depth), limit_(limit) {}
+                     std::size_t limit, std::uint64_t trace_id)
+    : Error(with_request(what, trace_id)),
+      depth_(depth),
+      limit_(limit),
+      trace_id_(trace_id) {}
 
 DeadlineExceeded::DeadlineExceeded(const std::string& what,
                                    double deadline_seconds,
-                                   double waited_seconds)
-    : Error(what), deadline_s_(deadline_seconds), waited_s_(waited_seconds) {}
+                                   double waited_seconds,
+                                   std::uint64_t trace_id)
+    : Error(with_request(what, trace_id)),
+      deadline_s_(deadline_seconds),
+      waited_s_(waited_seconds),
+      trace_id_(trace_id) {}
+
+ServiceStopped::ServiceStopped(const std::string& what, std::uint64_t trace_id)
+    : Error(with_request(what, trace_id)), trace_id_(trace_id) {}
+
+RetryExhausted::RetryExhausted(const std::string& what, std::uint64_t trace_id,
+                               int attempts)
+    : Error(with_request(what, trace_id)),
+      trace_id_(trace_id),
+      attempts_(attempts) {}
 
 /// One submitted request.  Shards of a sharded request are independent
 /// queue fragments (possibly served by different pool machines), so the
@@ -60,7 +104,8 @@ struct SortService::Request {
   std::size_t total_keys = 0;
   int shards = 1;
   Priority priority = Priority::kHigh;
-  std::uint64_t id = 0;  ///< admission ordinal; seeds retry jitter
+  std::uint64_t id = 0;        ///< admission ordinal; seeds retry jitter
+  std::uint64_t trace_id = 0;  ///< minted at submit(); keys all telemetry
 
   std::atomic<int> retries_used{0};   ///< per-request retry budget consumed
   std::atomic<bool> done_flag{false};  ///< lock-free mirror of `done`
@@ -83,7 +128,9 @@ struct SortService::Request {
 };
 
 SortService::SortService(ServiceConfig config)
-    : config_(std::move(config)), start_(Clock::now()) {
+    : config_(std::move(config)),
+      start_(Clock::now()),
+      flight_(config_.flight_capacity) {
   if (config_.pool_size < 1) {
     throw ConfigError("SortService: pool_size must be >= 1 (got " +
                       std::to_string(config_.pool_size) + ")");
@@ -116,11 +163,18 @@ SortService::SortService(ServiceConfig config)
   metrics_.clear();
   pool_.reserve(static_cast<std::size_t>(config_.pool_size));
   for (int i = 0; i < config_.pool_size; ++i) {
-    pool_.push_back(PoolSlot{make_machine(), 0});
+    pool_.push_back(PoolSlot{make_machine(), 0, i, 0});
   }
   dispatchers_.reserve(pool_.size());
   for (std::size_t i = 0; i < pool_.size(); ++i) {
     dispatchers_.emplace_back([this, i] { dispatch_loop(i); });
+  }
+  if (config_.telemetry.interval_s > 0 &&
+      (!config_.telemetry.jsonl_path.empty() ||
+       !config_.telemetry.prom_path.empty())) {
+    telemetry_writer_ = std::make_unique<obs::TelemetryWriter>(
+        config_.telemetry.jsonl_path, config_.telemetry.prom_path);
+    telemetry_thread_ = std::thread([this] { telemetry_loop(); });
   }
 }
 
@@ -157,16 +211,35 @@ void SortService::shutdown(ShutdownPolicy policy) {
       grab(retry_);
     }
   }
+  {
+    obs::FlightRecord r;
+    r.kind = obs::FlightEventKind::kStopped;
+    r.a = policy == ShutdownPolicy::kAbort ? 1 : 0;
+    r.b = static_cast<std::int64_t>(dropped.size());
+    flight_.record(r);
+  }
   cv_.notify_all();
   for (auto& f : dropped) {
     fail_fragment(f, std::make_exception_ptr(ServiceStopped(
                          "SortService: shutdown(kAbort) failed this queued "
-                         "request before it could dispatch")));
+                         "request before it could dispatch",
+                         f.req->trace_id)));
   }
   for (auto& t : dispatchers_) {
     if (t.joinable()) t.join();
   }
   dispatchers_.clear();
+  // Stop the telemetry sampler AFTER the dispatchers joined so its
+  // final sample carries the drained counters.
+  if (telemetry_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(telemetry_mu_);
+      telemetry_stop_ = true;
+    }
+    telemetry_cv_.notify_all();
+    telemetry_thread_.join();
+  }
+  maybe_dump_flight();
 }
 
 std::size_t SortService::padded_size(std::size_t size) const {
@@ -196,20 +269,42 @@ std::future<SortResult> SortService::submit(std::vector<std::uint32_t> keys,
   req->submitted = now;
   req->total_keys = keys.size();
   req->priority = options.priority;
+  // The trace ID is minted BEFORE admission so even a QueueFull
+  // rejection is greppable in the flight dump by ID.
+  req->trace_id =
+      mix64(trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
   if (options.deadline_s > 0) {
     req->deadline_s = options.deadline_s;
     req->deadline = now + from_seconds(options.deadline_s);
   }
   auto future = req->promise.get_future();
 
+  {
+    obs::FlightRecord r;
+    r.kind = obs::FlightEventKind::kSubmitted;
+    r.trace_id = req->trace_id;
+    r.a = static_cast<std::int64_t>(keys.size());
+    r.b = static_cast<std::int64_t>(options.priority);
+    flight_.record(r);
+  }
+
   if (keys.empty()) {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_) throw ServiceStopped("SortService: submit after shutdown");
+    if (stopping_) {
+      throw ServiceStopped("SortService: submit after shutdown",
+                           req->trace_id);
+    }
     ++metrics_.submitted;
     ++metrics_.completed;
     metrics_.total_us.record(0);
     metrics_.class_total_us[static_cast<int>(options.priority)].record(0);
-    req->promise.set_value(SortResult{});
+    SortResult empty;
+    empty.trace_id = req->trace_id;
+    req->promise.set_value(std::move(empty));
+    obs::FlightRecord r;
+    r.kind = obs::FlightEventKind::kCompleted;
+    r.trace_id = req->trace_id;
+    flight_.record(r);
     return future;
   }
 
@@ -268,7 +363,10 @@ std::future<SortResult> SortService::submit(std::vector<std::uint32_t> keys,
 
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_) throw ServiceStopped("SortService: submit after shutdown");
+    if (stopping_) {
+      throw ServiceStopped("SortService: submit after shutdown",
+                           req->trace_id);
+    }
     // Class-aware admission: the low class only gets its reserved
     // fraction of the queue, so a low-priority flood cannot starve
     // high-priority admission.
@@ -278,17 +376,24 @@ std::future<SortResult> SortService::submit(std::vector<std::uint32_t> keys,
     const std::size_t depth = queue_depth_locked();
     if (depth + frags.size() > limit) {
       ++metrics_.rejected_queue_full;
+      obs::FlightRecord r;
+      r.kind = obs::FlightEventKind::kQueueFull;
+      r.trace_id = req->trace_id;
+      r.a = static_cast<std::int64_t>(depth);
+      r.b = static_cast<std::int64_t>(limit);
+      flight_.record(r);
       std::ostringstream os;
       os << "SortService: queue full — " << depth << " fragment(s) "
          << "pending plus " << frags.size() << " new would exceed the "
          << (options.priority == Priority::kLow ? "low-priority admission cap"
                                                 : "queue_limit")
          << " of " << limit;
-      throw QueueFull(os.str(), depth, limit);
+      throw QueueFull(os.str(), depth, limit, req->trace_id);
     }
     ++metrics_.submitted;
     req->id = metrics_.submitted;
     if (frags.size() > 1) ++metrics_.sharded;
+    metrics_.shard_fanout.record(static_cast<double>(frags.size()));
     const auto enq = Clock::now();
     auto& queue =
         options.priority == Priority::kLow ? queue_lo_ : queue_hi_;
@@ -296,6 +401,12 @@ std::future<SortResult> SortService::submit(std::vector<std::uint32_t> keys,
       f.enqueued = enq;
       queue.push_back(std::move(f));
     }
+    obs::FlightRecord r;
+    r.kind = obs::FlightEventKind::kEnqueued;
+    r.trace_id = req->trace_id;
+    r.a = static_cast<std::int64_t>(frags.size());
+    r.b = static_cast<std::int64_t>(queue_depth_locked());
+    flight_.record(r);
   }
   cv_.notify_all();
   return future;
@@ -318,7 +429,19 @@ void SortService::fail_fragment(Fragment& f, std::exception_ptr error,
     std::lock_guard<std::mutex> lk(mu_);
     ++metrics_.failed;
   }
+  {
+    obs::FlightRecord r;
+    r.kind = obs::FlightEventKind::kFailed;
+    r.trace_id = f.req->trace_id;
+    r.shard = static_cast<std::uint32_t>(f.shard_index);
+    r.attempt = static_cast<std::uint32_t>(f.attempts);
+    r.error_class = flight_error_class(error);
+    r.a = f.attempts;
+    flight_.record(r);
+  }
   f.req->promise.set_exception(std::move(error));
+  // Terminal failure: the post-mortem the dump path exists for.
+  if (count_failed) maybe_dump_flight();
 }
 
 void SortService::complete_fragment(Fragment&& f, double run_us,
@@ -347,6 +470,7 @@ void SortService::complete_fragment(Fragment&& f, double run_us,
       result.keys.insert(result.keys.end(), part.begin(), part.end());
       part.clear();
     }
+    result.trace_id = req->trace_id;
     result.queue_us = req->queue_us;
     result.run_us = req->run_us;
     result.total_us = us_between(req->submitted, now);
@@ -367,6 +491,12 @@ void SortService::complete_fragment(Fragment&& f, double run_us,
       metrics_.class_total_us[static_cast<int>(req->priority)].record(
           result.total_us);
     }
+    obs::FlightRecord r;
+    r.kind = obs::FlightEventKind::kCompleted;
+    r.trace_id = req->trace_id;
+    r.a = static_cast<std::int64_t>(result.total_us);
+    r.b = result.retries;
+    flight_.record(r);
     req->promise.set_value(std::move(result));
   }
 }
@@ -471,10 +601,28 @@ void SortService::dispatch_loop(std::size_t slot_index) {
         batch.push_back(std::move(f));
       }
     }
+    for (const auto& f : cancelled) {
+      obs::FlightRecord r;
+      r.kind = obs::FlightEventKind::kCancelled;
+      r.trace_id = f.req->trace_id;
+      r.slot = static_cast<std::uint32_t>(slot_index);
+      r.shard = static_cast<std::uint32_t>(f.shard_index);
+      flight_.record(r);
+    }
     cancelled.clear();
     for (auto& d : doomed) {
       const auto now = Clock::now();
       const double waited = us_between(d.f.req->submitted, now) / 1e6;
+      {
+        obs::FlightRecord r;
+        r.kind = d.shed ? obs::FlightEventKind::kShed
+                        : obs::FlightEventKind::kDeadlineMiss;
+        r.trace_id = d.f.req->trace_id;
+        r.slot = static_cast<std::uint32_t>(slot_index);
+        r.shard = static_cast<std::uint32_t>(d.f.shard_index);
+        r.a = static_cast<std::int64_t>(waited * 1e6);
+        flight_.record(r);
+      }
       std::ostringstream os;
       if (d.shed) {
         os << "SortService: shed at dispatch — remaining deadline budget of "
@@ -489,7 +637,8 @@ void SortService::dispatch_loop(std::size_t slot_index) {
       }
       fail_fragment(d.f,
                     std::make_exception_ptr(DeadlineExceeded(
-                        os.str(), d.f.req->deadline_s, waited)),
+                        os.str(), d.f.req->deadline_s, waited,
+                        d.f.req->trace_id)),
                     /*count_failed=*/false);
     }
     if (batch.empty()) continue;
@@ -540,6 +689,34 @@ void SortService::run_batch(PoolSlot& slot, std::vector<Fragment>& batch) {
   items.reserve(batch.size());
   for (auto& f : batch) items.push_back(&f.keys);
 
+  // Request trace IDs ride into the run so a BarrierTimeout's per-VP
+  // diagnosis can name the request each stuck VP was serving.
+  std::vector<std::uint64_t> item_ids;
+  item_ids.reserve(batch.size());
+  for (const auto& f : batch) item_ids.push_back(f.req->trace_id);
+  cfg.batch_item_ids = item_ids.data();
+
+  const std::int64_t ordinal =
+      next_batch_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t depth_now = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pool_busy_;
+    depth_now = queue_depth_locked();
+  }
+  slot.last_dispatch_us = flight_.now_us();
+  for (const auto& f : batch) {
+    obs::FlightRecord r;
+    r.kind = obs::FlightEventKind::kDispatched;
+    r.trace_id = f.req->trace_id;
+    r.slot = static_cast<std::uint32_t>(slot.index);
+    r.attempt = static_cast<std::uint32_t>(f.attempts);
+    r.shard = static_cast<std::uint32_t>(f.shard_index);
+    r.a = ordinal;
+    r.b = static_cast<std::int64_t>(depth_now);
+    flight_.record(r);
+  }
+
   api::BatchOutcome out;
   std::exception_ptr error;
   try {
@@ -550,7 +727,18 @@ void SortService::run_batch(PoolSlot& slot, std::vector<Fragment>& batch) {
   const double run_us = us_between(t0, Clock::now());
 
   {
+    obs::FlightRecord r;
+    r.kind = obs::FlightEventKind::kBatchDone;
+    r.slot = static_cast<std::uint32_t>(slot.index);
+    r.a = ordinal;
+    r.b = static_cast<std::int64_t>(run_us);
+    if (error) r.error_class = flight_error_class(error);
+    flight_.record(r);
+  }
+
+  {
     std::lock_guard<std::mutex> lk(mu_);
+    --pool_busy_;
     ++metrics_.batches;
     metrics_.batch_occupancy.record(static_cast<double>(batch.size()));
     if (!error) {
@@ -581,14 +769,33 @@ void SortService::run_batch(PoolSlot& slot, std::vector<Fragment>& batch) {
       std::lock_guard<std::mutex> lk(mu_);
       ++metrics_.health_checks;
     }
+    {
+      obs::FlightRecord r;
+      r.kind = obs::FlightEventKind::kHealthCheck;
+      r.slot = static_cast<std::uint32_t>(slot.index);
+      r.a = healthy ? 1 : 0;
+      flight_.record(r);
+    }
     if (!healthy || slot.consecutive_failures >= config_.quarantine_after) {
       {
         std::lock_guard<std::mutex> lk(mu_);
         ++metrics_.quarantined;
         ++metrics_.replaced;
       }
+      {
+        obs::FlightRecord r;
+        r.kind = obs::FlightEventKind::kQuarantined;
+        r.slot = static_cast<std::uint32_t>(slot.index);
+        r.a = slot.consecutive_failures;
+        flight_.record(r);
+      }
+      maybe_dump_flight();
       slot.machine = make_machine();  // the old machine is destroyed here
       slot.consecutive_failures = 0;
+      obs::FlightRecord r;
+      r.kind = obs::FlightEventKind::kReplaced;
+      r.slot = static_cast<std::uint32_t>(slot.index);
+      flight_.record(r);
     }
     return;
   }
@@ -649,7 +856,9 @@ void SortService::handle_batch_failure(
 
     // Terminal delivery: deadline-carrying riders of a watchdog abort
     // get the deadline error they asked for, everyone else the
-    // structured run error.  First failure wins.
+    // structured run error — wrapped as RetryExhausted when the error
+    // WAS transient but the request's retry budget is already spent.
+    // First failure wins.
     if (timeout && f.req->has_deadline()) {
       const double waited = us_between(f.req->submitted, Clock::now()) / 1e6;
       std::ostringstream os;
@@ -657,7 +866,24 @@ void SortService::handle_batch_failure(
          << "s exceeded while running (the batch watchdog fired after "
          << waited << "s)";
       fail_fragment(f, std::make_exception_ptr(DeadlineExceeded(
-                           os.str(), f.req->deadline_s, waited)));
+                           os.str(), f.req->deadline_s, waited,
+                           f.req->trace_id)));
+    } else if (retryable && f.req->retries_used.load(
+                                std::memory_order_relaxed) >=
+                                config_.retry.max_retries) {
+      std::string last = "unknown error";
+      try {
+        std::rethrow_exception(error);
+      } catch (const std::exception& e) {
+        last = e.what();
+      } catch (...) {
+      }
+      std::ostringstream os;
+      os << "SortService: retry budget of " << config_.retry.max_retries
+         << " exhausted after " << f.attempts
+         << " attempt(s); last transient error: " << last;
+      fail_fragment(f, std::make_exception_ptr(RetryExhausted(
+                           os.str(), f.req->trace_id, f.attempts)));
     } else {
       fail_fragment(f, error);
     }
@@ -670,7 +896,19 @@ void SortService::handle_batch_failure(
     aborting = abort_;
     if (!aborting) {
       metrics_.retries += requeue.size();
-      for (auto& f : requeue) retry_.push_back(std::move(f));
+      for (auto& f : requeue) {
+        obs::FlightRecord r;
+        r.kind = obs::FlightEventKind::kRetryScheduled;
+        r.trace_id = f.req->trace_id;
+        r.attempt = static_cast<std::uint32_t>(f.attempts);
+        r.shard = static_cast<std::uint32_t>(f.shard_index);
+        r.a = static_cast<std::int64_t>(
+            std::chrono::duration<double, std::milli>(f.not_before - now)
+                .count());
+        r.b = static_cast<std::int64_t>(queue_depth_locked() + 1);
+        flight_.record(r);
+        retry_.push_back(std::move(f));
+      }
     }
   }
   if (aborting) {
@@ -741,7 +979,117 @@ ServiceStats SortService::stats() const {
   s.low_p99_us = lo.quantile(0.99);
   s.batch_occupancy_mean = metrics_.batch_occupancy.mean();
   s.batch_occupancy_max = metrics_.batch_occupancy.max();
+  s.pool_busy = pool_busy_;
+  s.shard_fanout_mean = metrics_.shard_fanout.mean();
+  s.shard_fanout_max = metrics_.shard_fanout.max();
+  s.flight_recorded = flight_.size();
+  s.flight_dropped = flight_.dropped();
   return s;
+}
+
+std::size_t SortService::dump_flight(std::ostream& os) const {
+  return flight_.dump_jsonl(os);
+}
+
+void SortService::maybe_dump_flight() const {
+  if (config_.flight_dump_path.empty()) return;
+  std::ofstream out(config_.flight_dump_path, std::ios::trunc);
+  if (out) flight_.dump_jsonl(out);
+}
+
+void SortService::export_perfetto(std::ostream& os) const {
+  obs::ServicePerfettoMeta meta;
+  meta.process_name = "bsort-service";
+  meta.pid = 0;
+  meta.pool_size = config_.pool_size;
+  std::vector<obs::ServiceMachineTrack> machines;
+  machines.reserve(pool_.size());
+  for (const auto& slot : pool_) {
+    obs::ServiceMachineTrack t;
+    // Only machines that actually ran with profiling contribute span
+    // tracks (an idle pool member never allocates its span rings); the
+    // process entry keeps the layout stable either way.
+    t.machine = slot.machine != nullptr && slot.machine->profiling()
+                    ? slot.machine.get()
+                    : nullptr;
+    t.name = "pool slot " + std::to_string(slot.index);
+    t.ts_offset_us = slot.last_dispatch_us;
+    machines.push_back(std::move(t));
+  }
+  obs::write_service_perfetto(os, flight_.snapshot(), machines, meta);
+}
+
+obs::TelemetrySample SortService::make_telemetry_sample() const {
+  obs::TelemetrySample sample;
+  sample.t_s =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  const auto counter = [&](const char* name, double v) {
+    sample.values.push_back({name, v, /*counter=*/true});
+  };
+  const auto gauge = [&](const char* name, double v) {
+    sample.values.push_back({name, v, /*counter=*/false});
+  };
+  const auto hist = [&](const char* name, const obs::LogHistogram& h) {
+    obs::TelemetryHist out;
+    out.name = name;
+    out.count = h.count();
+    out.p50 = h.quantile(0.50);
+    out.p95 = h.quantile(0.95);
+    out.p99 = h.quantile(0.99);
+    out.max = h.max();
+    out.sum = h.sum();
+    sample.hists.push_back(std::move(out));
+  };
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    counter("submitted", static_cast<double>(metrics_.submitted));
+    counter("completed", static_cast<double>(metrics_.completed));
+    counter("failed", static_cast<double>(metrics_.failed));
+    counter("rejected_queue_full",
+            static_cast<double>(metrics_.rejected_queue_full));
+    counter("rejected_deadline",
+            static_cast<double>(metrics_.rejected_deadline));
+    counter("batches", static_cast<double>(metrics_.batches));
+    counter("sharded", static_cast<double>(metrics_.sharded));
+    counter("retries", static_cast<double>(metrics_.retries));
+    counter("shed", static_cast<double>(metrics_.shed));
+    counter("cancelled", static_cast<double>(metrics_.cancelled));
+    counter("quarantined", static_cast<double>(metrics_.quarantined));
+    counter("replaced", static_cast<double>(metrics_.replaced));
+    counter("health_checks", static_cast<double>(metrics_.health_checks));
+    gauge("queue_depth", static_cast<double>(queue_depth_locked()));
+    gauge("pool_busy", static_cast<double>(pool_busy_));
+    gauge("pool_size", static_cast<double>(config_.pool_size));
+    hist("queue_wait_us", metrics_.queue_us);
+    hist("run_us", metrics_.run_us);
+    hist("total_us", metrics_.total_us);
+    hist("batch_size", metrics_.batch_occupancy);
+    hist("shard_fanout", metrics_.shard_fanout);
+    hist("high_total_us",
+         metrics_.class_total_us[static_cast<int>(Priority::kHigh)]);
+    hist("low_total_us",
+         metrics_.class_total_us[static_cast<int>(Priority::kLow)]);
+  }
+  counter("flight_events",
+          static_cast<double>(flight_.dropped() + flight_.size()));
+  gauge("flight_dropped", static_cast<double>(flight_.dropped()));
+  return sample;
+}
+
+void SortService::telemetry_loop() {
+  const auto interval = from_seconds(config_.telemetry.interval_s);
+  std::unique_lock<std::mutex> lk(telemetry_mu_);
+  for (;;) {
+    telemetry_cv_.wait_for(lk, interval, [this] { return telemetry_stop_; });
+    // Sample WITHOUT holding telemetry_mu_ (stats takes mu_; keep the
+    // two uncoupled), then write.  One final sample on stop so the
+    // series always ends with the drained counters.
+    const bool stop = telemetry_stop_;
+    lk.unlock();
+    telemetry_writer_->write(make_telemetry_sample());
+    if (stop) return;
+    lk.lock();
+  }
 }
 
 }  // namespace bsort::service

@@ -84,6 +84,7 @@
 // the library's structured bsort::Error types.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -97,21 +98,28 @@
 #include "api/parallel_sort.hpp"
 #include "fault/error.hpp"
 #include "fault/retry.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 
 namespace bsort::service {
 
 /// Admission rejection: the pending-fragment queue is at its limit.
-/// Thrown synchronously from submit().
+/// Thrown synchronously from submit().  `trace_id` (when nonzero) is
+/// the rejected request's trace ID — what() embeds it as
+/// "[request 0x...]" so the text correlates with the flight recorder.
 class QueueFull : public Error {
  public:
-  QueueFull(const std::string& what, std::size_t depth, std::size_t limit);
+  QueueFull(const std::string& what, std::size_t depth, std::size_t limit,
+            std::uint64_t trace_id = 0);
   [[nodiscard]] std::size_t depth() const { return depth_; }
   [[nodiscard]] std::size_t limit() const { return limit_; }
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
 
  private:
   std::size_t depth_;
   std::size_t limit_;
+  std::uint64_t trace_id_;
 };
 
 /// The request's deadline expired before (or while) it could run, or
@@ -121,20 +129,42 @@ class QueueFull : public Error {
 class DeadlineExceeded : public Error {
  public:
   DeadlineExceeded(const std::string& what, double deadline_seconds,
-                   double waited_seconds);
+                   double waited_seconds, std::uint64_t trace_id = 0);
   [[nodiscard]] double deadline_seconds() const { return deadline_s_; }
   [[nodiscard]] double waited_seconds() const { return waited_s_; }
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
 
  private:
   double deadline_s_;
   double waited_s_;
+  std::uint64_t trace_id_;
 };
 
 /// submit() after shutdown(), or a queued request failed by
 /// shutdown(ShutdownPolicy::kAbort) before it could dispatch.
 class ServiceStopped : public Error {
  public:
-  using Error::Error;
+  explicit ServiceStopped(const std::string& what, std::uint64_t trace_id = 0);
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+
+ private:
+  std::uint64_t trace_id_;
+};
+
+/// A retryable batch failure outlived the request's retry budget: the
+/// last attempt's error (embedded in what()) was transient, but
+/// `ServiceConfig::retry.max_retries` re-runs were already spent.
+class RetryExhausted : public Error {
+ public:
+  RetryExhausted(const std::string& what, std::uint64_t trace_id,
+                 int attempts);
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+  /// Run attempts this fragment made (1 + retries it consumed).
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+ private:
+  std::uint64_t trace_id_;
+  int attempts_;
 };
 
 /// QoS class of a request.  High-priority fragments dispatch strictly
@@ -189,6 +219,26 @@ struct ServiceConfig {
   /// submits are rejected with QueueFull; the high class may use the
   /// whole queue.  Clamped to [0, 1].
   double low_priority_admission = 0.5;
+
+  // ---- observability (DESIGN.md §11) --------------------------------
+  /// Flight-recorder ring capacity (lifecycle events retained; oldest
+  /// overwritten).  Always on; recording is allocation-free, so there
+  /// is no enable knob — 0 drops every event if a silent service is
+  /// really wanted.
+  std::size_t flight_capacity = 4096;
+
+  /// When nonempty, the flight recorder's retained events are dumped
+  /// (truncate + rewrite) to this path on every quarantine, every
+  /// terminal request failure, and at shutdown — the post-mortem is on
+  /// disk even when the process dies with the service.
+  std::string flight_dump_path;
+
+  /// Periodic telemetry export (obs/telemetry.hpp).
+  struct Telemetry {
+    double interval_s = 0;   ///< sampler thread period; 0 = no thread
+    std::string jsonl_path;  ///< bsort-telemetry-v1 time-series ("" = off)
+    std::string prom_path;   ///< Prometheus text exposition ("" = off)
+  } telemetry;
 };
 
 /// Per-request submit() options.
@@ -200,6 +250,11 @@ struct SubmitOptions {
 /// What a fulfilled future carries.
 struct SortResult {
   std::vector<std::uint32_t> keys;  ///< the request's keys, sorted
+
+  /// The request's 64-bit trace ID (minted at submit; deterministic in
+  /// admission order), keying its flight-recorder events, Perfetto
+  /// flow arrows, and error text.
+  std::uint64_t trace_id = 0;
 
   double queue_us = 0;  ///< admission -> dispatch (host clock)
   double run_us = 0;    ///< dispatch -> batch completion (host clock)
@@ -246,6 +301,13 @@ struct ServiceStats {
 
   double batch_occupancy_mean = 0;
   double batch_occupancy_max = 0;
+
+  // Observability (DESIGN.md §11).
+  int pool_busy = 0;  ///< dispatchers currently inside a batch run
+  double shard_fanout_mean = 0;  ///< fragments per admitted request
+  double shard_fanout_max = 0;
+  std::uint64_t flight_recorded = 0;  ///< lifecycle events in the ring
+  std::uint64_t flight_dropped = 0;   ///< events overwritten (ring full)
 };
 
 class SortService {
@@ -266,6 +328,19 @@ class SortService {
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+  /// Dump the flight recorder's retained lifecycle events as
+  /// `bsort-flight-v1` JSONL (obs/flight.hpp).  Callable any time from
+  /// any thread; returns the number of event lines written.
+  std::size_t dump_flight(std::ostream& os) const;
+
+  /// Export the service timeline — queue track, per-slot batch tracks,
+  /// flow arrows per request — merged with every pool machine's last
+  /// profiled run (enable `base.profile_spans` for those tracks) as one
+  /// multi-process Perfetto trace (obs/perfetto.hpp).  Call AFTER
+  /// shutdown(): the pool machines' span rings are only stable once the
+  /// dispatchers have joined.
+  void export_perfetto(std::ostream& os) const;
 
   /// Stop admitting and join the dispatchers.  kDrain (the default,
   /// also what the destructor runs) completes everything already
@@ -298,6 +373,11 @@ class SortService {
   struct PoolSlot {
     std::unique_ptr<simd::Machine> machine;
     int consecutive_failures = 0;
+    int index = 0;  ///< position in the pool (flight-recorder slot id)
+    /// Flight-recorder time the machine's most recent batch was
+    /// dispatched — the ts offset placing its spans on the service
+    /// timeline in export_perfetto().
+    double last_dispatch_us = 0;
   };
 
   void dispatch_loop(std::size_t slot_index);
@@ -338,7 +418,26 @@ class SortService {
   bool stopping_ = false;
   bool abort_ = false;  ///< shutdown(kAbort): dispatchers exit without draining
   double run_ewma_us_ = 0;  ///< smoothed batch cost (successful runs only)
+  int pool_busy_ = 0;       ///< dispatchers currently inside run_batch
   obs::ServiceMetrics metrics_;
+
+  // ---- observability (DESIGN.md §11) --------------------------------
+  /// Build one telemetry sample from the current stats + histograms.
+  [[nodiscard]] obs::TelemetrySample make_telemetry_sample() const;
+  void telemetry_loop();
+  /// Truncate-write the flight recorder to `flight_dump_path` (no-op
+  /// when the path is empty).  Failure/quarantine/shutdown path only.
+  void maybe_dump_flight() const;
+
+  std::atomic<std::uint64_t> trace_seq_{0};    ///< trace-ID mint
+  std::atomic<std::int64_t> next_batch_{0};    ///< global batch ordinal
+  obs::FlightRecorder flight_;
+
+  std::unique_ptr<obs::TelemetryWriter> telemetry_writer_;
+  std::mutex telemetry_mu_;
+  std::condition_variable telemetry_cv_;
+  bool telemetry_stop_ = false;
+  std::thread telemetry_thread_;
 
   std::vector<PoolSlot> pool_;
   std::vector<std::thread> dispatchers_;

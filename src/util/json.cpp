@@ -42,4 +42,13 @@ void write_json_number(std::ostream& os, double v) {
   os << v;
 }
 
+std::string hex_id(std::uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out = "0x0000000000000000";
+  for (int i = 0; i < 16; ++i) {
+    out[17 - i] = kHex[(v >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
 }  // namespace bsort::util

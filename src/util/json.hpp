@@ -4,6 +4,7 @@
 // never be able to break the emitted JSON.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -24,5 +25,11 @@ void write_json_string(std::ostream& os, std::string_view s);
 /// instead (and downstream gates — tools/bench_compare.py — treat null
 /// as a hard failure rather than a silently-passing metric).
 void write_json_number(std::ostream& os, double v);
+
+/// Format a 64-bit id as a fixed-width hex literal ("0x0000a1b2c3d4e5f6").
+/// Trace/flow ids cross JSON, whose numbers lose precision past 2^53, so
+/// every exporter carries them as strings in this one canonical spelling —
+/// grep-for-the-id works across flight dumps, error text, and Perfetto.
+std::string hex_id(std::uint64_t v);
 
 }  // namespace bsort::util

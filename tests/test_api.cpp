@@ -5,6 +5,8 @@
 #include <algorithm>
 
 #include "fault/error.hpp"
+#include "fault/plan.hpp"
+#include "util/json.hpp"
 #include "util/random.hpp"
 
 namespace bsort::api {
@@ -309,6 +311,42 @@ TEST(ApiBatch, SmallItemThresholdPlacesItemsLocallyWithZeroExchanges) {
   std::uint64_t sent = 0;
   for (const auto& comm : out2.report.proc_comm) sent += comm.elements_sent;
   EXPECT_GT(sent, 0u) << "the oversized item must still be sorted in parallel";
+}
+
+TEST(ApiBatch, BarrierTimeoutNamesTheOwningRequest) {
+  // A batch run that wedges must say WHOSE request each stuck VP was
+  // serving: the service passes per-item trace IDs via batch_item_ids
+  // and the timeout diagnosis folds the (unambiguous) owner into the
+  // per-VP snapshot and the what() text.
+  simd::Machine machine(4, loggp::meiko_cs2(), simd::MessageMode::kLong);
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.kind = fault::FaultKind::kStraggler;
+  rule.rank = 1;
+  rule.exchange = 0;
+  rule.real_ms = 500.0;  // real stall far beyond the watchdog budget
+  plan.rules.push_back(rule);
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.watchdog_seconds = 0.05;
+  cfg.faults = &plan;
+  auto keys = util::generate_keys(1u << 10, util::KeyDistribution::kUniform31, 5);
+  std::vector<std::uint32_t>* const items[1] = {&keys};
+  const std::uint64_t ids[1] = {0x910a2dec89025cc1ull};
+  cfg.batch_item_ids = ids;
+  try {
+    parallel_sort_batch_on(machine, items, cfg);
+    FAIL() << "expected BarrierTimeout";
+  } catch (const BarrierTimeout& e) {
+    bool owned = false;
+    for (const auto& s : e.states()) owned = owned || s.owner == ids[0];
+    EXPECT_TRUE(owned) << "no VP snapshot carries the owning request";
+    EXPECT_NE(std::string(e.what()).find(
+                  "serving request " + util::hex_id(ids[0])),
+              std::string::npos)
+        << e.what();
+  }
+  machine.set_watchdog(0);  // disarm for any later reuse of the machine
 }
 
 TEST(ApiBatch, InvalidItemNamesItsIndexAndConstraint) {

@@ -20,11 +20,14 @@
 #include "bitonic/sorts.hpp"
 #include "fault/error.hpp"
 #include "fault/plan.hpp"
+#include "fault/retry.hpp"
 #include "loggp/params.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/profile.hpp"
 #include "obs/spans.hpp"
+#include "obs/telemetry.hpp"
 #include "simd/machine.hpp"
 #include "test_helpers.hpp"
 #include "trace/events.hpp"
@@ -700,6 +703,319 @@ TEST(WatchdogSpans, TimeoutNamesTheLeafPhase) {
     EXPECT_NE(std::string(e.what()).find("in merge 5 / unpack"), std::string::npos);
   }
   m.set_watchdog(0);
+}
+
+// ---- hex_id ---------------------------------------------------------
+
+TEST(HexId, CanonicalSixteenDigitSpelling) {
+  EXPECT_EQ(util::hex_id(0), "0x0000000000000000");
+  EXPECT_EQ(util::hex_id(0x1234), "0x0000000000001234");
+  EXPECT_EQ(util::hex_id(0xffffffffffffffffull), "0xffffffffffffffff");
+  // IDs travel as strings because JSON numbers lose bits past 2^53.
+  EXPECT_EQ(util::hex_id(0x910a2dec89025cc1ull), "0x910a2dec89025cc1");
+}
+
+// ---- FlightRecorder -------------------------------------------------
+
+obs::FlightRecord flight_event(obs::FlightEventKind kind, std::uint64_t id,
+                               std::int64_t a = 0) {
+  obs::FlightRecord r;
+  r.kind = kind;
+  r.trace_id = id;
+  r.a = a;
+  return r;
+}
+
+TEST(FlightRecorder, WrapAroundKeepsNewestAndCountsDropped) {
+  obs::FlightRecorder rec(4);
+  for (int i = 0; i < 6; ++i) {
+    auto r = flight_event(obs::FlightEventKind::kSubmitted, 0xabcu, i);
+    r.t_us = rec.now_us();
+    rec.record(r);
+  }
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].a, static_cast<std::int64_t>(2 + i));  // oldest gone
+    EXPECT_EQ(snap[i].seq, 2 + i);  // seq survives the overwrite
+    if (i > 0) EXPECT_GE(snap[i].t_us, snap[i - 1].t_us);
+  }
+}
+
+TEST(FlightRecorder, ZeroCapacityDropsEverything) {
+  obs::FlightRecorder rec(0);
+  rec.record(flight_event(obs::FlightEventKind::kSubmitted, 1));
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 1u);
+  std::ostringstream os;
+  EXPECT_EQ(rec.dump_jsonl(os), 0u);  // meta line only, no events
+  EXPECT_NE(os.str().find("bsort-flight-v1"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpJsonlSchemaRoundTrips) {
+  obs::FlightRecorder rec(16);
+  auto submitted = flight_event(obs::FlightEventKind::kSubmitted,
+                                0x910a2dec89025cc1ull, 256);
+  submitted.t_us = rec.now_us();
+  rec.record(submitted);
+  auto failed = flight_event(obs::FlightEventKind::kFailed,
+                             0x910a2dec89025cc1ull, 2);
+  failed.t_us = rec.now_us();
+  failed.slot = 1;
+  failed.attempt = 2;
+  failed.shard = 3;
+  failed.error_class = 1 + static_cast<std::uint8_t>(
+      fault::FailureClass::kRetryable);
+  rec.record(failed);
+
+  std::ostringstream os;
+  EXPECT_EQ(rec.dump_jsonl(os), 2u);
+  std::istringstream lines(os.str());
+  std::string line;
+
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue meta = JsonParser(line).parse();
+  EXPECT_EQ(meta.at("type").string, "meta");
+  EXPECT_EQ(meta.at("schema").string, "bsort-flight-v1");
+  EXPECT_EQ(meta.at("capacity").number, 16.0);
+  EXPECT_EQ(meta.at("recorded").number, 2.0);
+  EXPECT_EQ(meta.at("dropped").number, 0.0);
+
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue e0 = JsonParser(line).parse();
+  EXPECT_EQ(e0.at("event").string, "submitted");
+  EXPECT_EQ(e0.at("request").string, "0x910a2dec89025cc1");
+  EXPECT_EQ(e0.at("a").number, 256.0);
+  EXPECT_FALSE(e0.has("slot"));     // no slot at admission
+  EXPECT_FALSE(e0.has("attempt"));  // zero fields are omitted
+  EXPECT_FALSE(e0.has("class"));
+
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue e1 = JsonParser(line).parse();
+  EXPECT_EQ(e1.at("event").string, "failed");
+  EXPECT_EQ(e1.at("slot").number, 1.0);
+  EXPECT_EQ(e1.at("attempt").number, 2.0);
+  EXPECT_EQ(e1.at("shard").number, 3.0);
+  EXPECT_EQ(e1.at("class").string, "retryable");
+  EXPECT_GT(e1.at("seq").number, e0.at("seq").number);
+}
+
+TEST(FlightRecorder, EveryEventKindHasAName) {
+  for (int k = 0; k < obs::kFlightEventKindCount; ++k) {
+    const char* name =
+        obs::flight_event_name(static_cast<obs::FlightEventKind>(k));
+    EXPECT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "kind " << k;
+  }
+}
+
+// ---- telemetry export -----------------------------------------------
+
+obs::TelemetrySample telemetry_sample(double t_s, double submitted) {
+  obs::TelemetrySample s;
+  s.t_s = t_s;
+  s.values.push_back({"submitted", submitted, /*counter=*/true});
+  s.values.push_back({"queue_depth", 3, /*counter=*/false});
+  obs::TelemetryHist h;
+  h.name = "run_us";
+  h.count = 4;
+  h.p50 = 10;
+  h.p95 = 20;
+  h.p99 = 30;
+  h.max = 40;
+  h.sum = 80;
+  s.hists.push_back(h);
+  return s;
+}
+
+TEST(Telemetry, CounterDeltasAcrossSamplesIncludingReset) {
+  std::map<std::string, double> last;
+  const auto delta_of = [&last](double total) {
+    std::ostringstream os;
+    obs::write_telemetry_sample(os, telemetry_sample(0.1, total), last);
+    const JsonValue v = JsonParser(os.str()).parse();
+    EXPECT_EQ(v.at("type").string, "sample");
+    const auto& c = v.at("counters").at("submitted");
+    EXPECT_EQ(c.at("total").number, total);
+    return c.at("delta").number;
+  };
+  EXPECT_EQ(delta_of(3), 3.0);   // first sample: delta == total
+  EXPECT_EQ(delta_of(5), 2.0);   // 3 -> 5
+  EXPECT_EQ(delta_of(5), 0.0);   // idle tick
+  EXPECT_EQ(delta_of(1), 1.0);   // total fell: reset, delta restarts
+  EXPECT_EQ(delta_of(4), 3.0);   // and resumes normally
+}
+
+TEST(Telemetry, SampleJsonCarriesGaugesAndHistograms) {
+  std::map<std::string, double> last;
+  std::ostringstream os;
+  obs::write_telemetry_meta(os);
+  obs::write_telemetry_sample(os, telemetry_sample(1.5, 7), last);
+  std::istringstream lines(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue meta = JsonParser(line).parse();
+  EXPECT_EQ(meta.at("schema").string, "bsort-telemetry-v1");
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue s = JsonParser(line).parse();
+  EXPECT_EQ(s.at("t_s").number, 1.5);
+  EXPECT_EQ(s.at("gauges").at("queue_depth").number, 3.0);
+  const auto& h = s.at("hists").at("run_us");
+  EXPECT_EQ(h.at("count").number, 4.0);
+  EXPECT_EQ(h.at("p50").number, 10.0);
+  EXPECT_EQ(h.at("p95").number, 20.0);
+  EXPECT_EQ(h.at("p99").number, 30.0);
+  EXPECT_EQ(h.at("max").number, 40.0);
+  EXPECT_EQ(h.at("sum").number, 80.0);
+}
+
+TEST(Telemetry, PrometheusExpositionFormat) {
+  std::ostringstream os;
+  obs::write_prometheus(os, telemetry_sample(1.0, 41));
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE bsort_submitted_total counter\n"
+                      "bsort_submitted_total 41"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE bsort_queue_depth gauge\n"
+                      "bsort_queue_depth 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE bsort_run_us summary"), std::string::npos);
+  EXPECT_NE(text.find("bsort_run_us{quantile=\"0.5\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("bsort_run_us_sum 80"), std::string::npos);
+  EXPECT_NE(text.find("bsort_run_us_count 4"), std::string::npos);
+}
+
+// ---- service Perfetto export ----------------------------------------
+
+TEST(ServicePerfetto, SyntheticLifecycleExportsTracksAndFlows) {
+  // A hand-built lifecycle: submit -> enqueue -> dispatch on slot 0 ->
+  // batch done -> complete, for one request with a known trace ID.
+  const std::uint64_t id = 0x910a2dec89025cc1ull;
+  std::vector<obs::FlightRecord> events;
+  const auto push = [&events](obs::FlightEventKind k, double t,
+                              std::uint64_t trace) -> obs::FlightRecord& {
+    obs::FlightRecord r;
+    r.kind = k;
+    r.t_us = t;
+    r.trace_id = trace;
+    r.seq = events.size();
+    events.push_back(r);
+    return events.back();
+  };
+  push(obs::FlightEventKind::kSubmitted, 1.0, id).a = 256;
+  push(obs::FlightEventKind::kEnqueued, 2.0, id).b = 1;
+  {
+    auto& d = push(obs::FlightEventKind::kDispatched, 3.0, id);
+    d.slot = 0;
+    d.attempt = 1;
+    d.a = 0;  // batch ordinal
+  }
+  {
+    auto& d = push(obs::FlightEventKind::kBatchDone, 5.0, 0);
+    d.slot = 0;
+    d.a = 0;
+    d.b = 2;  // run_us
+  }
+  push(obs::FlightEventKind::kCompleted, 6.0, id).a = 5;
+
+  obs::ServicePerfettoMeta meta;
+  meta.pool_size = 2;
+  std::ostringstream os;
+  obs::write_service_perfetto(os, events, {}, meta);
+  const JsonValue doc = JsonParser(os.str()).parse();
+  const auto& evs = doc.at("traceEvents").array;
+  ASSERT_FALSE(evs.empty());
+
+  // Deterministic layout: every metadata record precedes every event,
+  // and thread names cover the queue track plus both pool slots.
+  std::vector<std::string> meta_names;
+  bool seen_event = false;
+  std::string flow_phases;
+  int batch_slices = 0;
+  bool queue_counter = false;
+  for (const auto& e : evs) {
+    const std::string ph = e.at("ph").string;
+    if (ph == "M") {
+      EXPECT_FALSE(seen_event) << "metadata after events";
+      meta_names.push_back(e.at("args").at("name").string);
+      continue;
+    }
+    seen_event = true;
+    if (ph == "s" || ph == "t" || ph == "f") {
+      flow_phases += ph;
+      EXPECT_EQ(e.at("id").string, util::hex_id(id));
+      EXPECT_EQ(e.at("cat").string, "request");
+    }
+    if (ph == "C" && e.at("name").string == "queue depth") {
+      queue_counter = true;
+    }
+    if (ph == "X" && e.at("name").string.rfind("batch ", 0) == 0) {
+      ++batch_slices;
+      EXPECT_EQ(e.at("tid").number, 1.0);  // slot 0 lives on tid 1
+      EXPECT_EQ(e.at("args").at("requests").array.size(), 1u);
+      EXPECT_EQ(e.at("args").at("requests").array[0].string,
+                util::hex_id(id));
+    }
+  }
+  EXPECT_EQ(meta_names, (std::vector<std::string>{
+                            "bsort-service", "queue", "slot 0", "slot 1"}));
+  // The flow arrow follows admission -> dispatch -> completion.
+  EXPECT_EQ(flow_phases, "stf");
+  EXPECT_EQ(batch_slices, 1);
+  EXPECT_TRUE(queue_counter);
+}
+
+TEST(ServicePerfetto, UnfinishedBatchIsFlushedAtTraceEnd) {
+  std::vector<obs::FlightRecord> events;
+  obs::FlightRecord d;
+  d.kind = obs::FlightEventKind::kDispatched;
+  d.t_us = 1.0;
+  d.trace_id = 0x22u;
+  d.seq = 0;
+  d.slot = 0;
+  d.attempt = 1;
+  d.a = 7;  // ordinal with no matching kBatchDone
+  events.push_back(d);
+  obs::ServicePerfettoMeta meta;
+  meta.pool_size = 1;
+  std::ostringstream os;
+  obs::write_service_perfetto(os, events, {}, meta);
+  const JsonValue doc = JsonParser(os.str()).parse();
+  bool found = false;
+  for (const auto& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string == "X" &&
+        e.at("name").string.rfind("batch ", 0) == 0) {
+      found = true;
+      EXPECT_GE(e.at("dur").number, 0.0);
+    }
+  }
+  EXPECT_TRUE(found) << "open batch at shutdown must still emit a slice";
+}
+
+TEST(Perfetto, MetaPidPlacesEveryEventOnThatProcess) {
+  // The service trace merges machine tracks at distinct pids — the
+  // exporter must honor meta.pid instead of hard-coding 0.
+  auto m = make_machine(2);
+  m.enable_profiling(1u << 12);
+  auto keys = util::generate_keys(512, util::KeyDistribution::kUniform31, 13);
+  run_blocked_spmd_on(m, keys, [](simd::Proc& p, std::span<std::uint32_t> s) {
+    bitonic::smart_sort(p, s);
+  });
+  obs::PerfettoMeta meta;
+  meta.process_name = "pool slot 3";
+  meta.pid = 5;
+  std::ostringstream os;
+  obs::write_perfetto(os, m, meta);
+  const JsonValue doc = JsonParser(os.str()).parse();
+  const auto& evs = doc.at("traceEvents").array;
+  ASSERT_FALSE(evs.empty());
+  for (const auto& e : evs) {
+    EXPECT_EQ(e.at("pid").number, 5.0);
+  }
 }
 
 }  // namespace

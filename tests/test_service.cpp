@@ -1,18 +1,23 @@
 // SortService end to end: batching correctness over a pre-warmed pool,
 // arbitrary (non-power-of-two) request sizes via padding, splitter
 // sharding of oversized requests, queue-full and deadline admission
-// control, structured failure delivery, and SLO stats sanity.
+// control, structured failure delivery, SLO stats sanity, and the
+// request-lifecycle observability layer (trace IDs, flight recorder,
+// telemetry export, service Perfetto traces).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <future>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "fault/error.hpp"
 #include "fault/plan.hpp"
 #include "service/sort_service.hpp"
+#include "util/json.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -455,6 +460,197 @@ TEST(SortService, ShutdownAbortFailsQueuedRequestsImmediately) {
   EXPECT_THROW(svc.submit(request_keys(8, 2)), service::ServiceStopped);
   svc.shutdown(service::ShutdownPolicy::kAbort);  // idempotent
   svc.shutdown();                                 // and mixed-policy safe
+}
+
+// ---- request-lifecycle observability (DESIGN.md §11) ----------------
+
+TEST(SortService, TraceIdsAreNonzeroDistinctAndDeterministic) {
+  std::vector<std::uint64_t> first_run;
+  for (int run = 0; run < 2; ++run) {
+    service::SortService svc(small_service());
+    std::vector<std::future<service::SortResult>> futs;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      futs.push_back(svc.submit(request_keys(128, i)));
+    }
+    std::vector<std::uint64_t> ids;
+    for (auto& f : futs) {
+      const auto res = f.get();
+      EXPECT_NE(res.trace_id, 0u);
+      ids.push_back(res.trace_id);
+    }
+    auto uniq = ids;
+    std::sort(uniq.begin(), uniq.end());
+    EXPECT_EQ(std::unique(uniq.begin(), uniq.end()), uniq.end())
+        << "trace ids must be distinct within a service";
+    // Minted from an admission-order sequence: a fresh service given
+    // the same submission order reproduces the same IDs, so traces from
+    // two runs of one workload are comparable.
+    if (run == 0) {
+      first_run = ids;
+    } else {
+      EXPECT_EQ(ids, first_run);
+    }
+  }
+}
+
+TEST(SortService, ErrorsCarryTheRequestTraceId) {
+  auto cfg = small_service();
+  cfg.pool_size = 1;
+  cfg.max_batch = 1;
+  cfg.queue_limit = 2;
+  service::SortService svc(cfg);
+
+  auto park = svc.submit(request_keys(std::size_t{1} << 16, 3));
+  auto doomed = svc.submit(request_keys(128, 6), {/*deadline_s=*/1e-9});
+
+  // Overfill the tiny queue: the synchronous QueueFull names the
+  // REJECTED request's id (minted before admission so even rejected
+  // traffic correlates with the flight recorder).
+  bool rejected = false;
+  std::vector<std::future<service::SortResult>> accepted;
+  for (int i = 0; i < 16 && !rejected; ++i) {
+    try {
+      accepted.push_back(svc.submit(request_keys(64, 40 + i)));
+    } catch (const service::QueueFull& e) {
+      rejected = true;
+      EXPECT_NE(e.trace_id(), 0u);
+      EXPECT_NE(std::string(e.what()).find(bsort::util::hex_id(e.trace_id())),
+                std::string::npos)
+          << "what() must embed the hex trace id: " << e.what();
+    }
+  }
+  EXPECT_TRUE(rejected);
+
+  try {
+    doomed.get();
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const service::DeadlineExceeded& e) {
+    EXPECT_NE(e.trace_id(), 0u);
+    EXPECT_NE(std::string(e.what()).find(bsort::util::hex_id(e.trace_id())),
+              std::string::npos);
+  }
+  park.get();
+  for (auto& f : accepted) EXPECT_FALSE(f.get().keys.empty());
+}
+
+TEST(SortService, FlightRecorderCapturesTheLifecycle) {
+  service::SortService svc(small_service());
+  const auto res = svc.submit(request_keys(500, 9)).get();
+  ASSERT_NE(res.trace_id, 0u);
+
+  std::ostringstream os;
+  EXPECT_GT(svc.dump_flight(os), 0u);
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("bsort-flight-v1"), std::string::npos);
+  const std::string id = bsort::util::hex_id(res.trace_id);
+  for (const char* event : {"submitted", "enqueued", "dispatched",
+                            "completed"}) {
+    EXPECT_NE(dump.find(std::string("\"event\":\"") + event +
+                        "\",\"request\":\"" + id + "\""),
+              std::string::npos)
+        << "missing " << event << " for " << id << " in:\n" << dump;
+  }
+
+  const auto s = svc.stats();
+  EXPECT_GT(s.flight_recorded, 0u);
+  EXPECT_EQ(s.flight_dropped, 0u);
+}
+
+TEST(SortService, StatsExposeObservabilityFields) {
+  auto cfg = small_service();
+  cfg.shard_threshold = 2048;
+  cfg.shards_per_request = 2;
+  service::SortService svc(cfg);
+  svc.submit(request_keys(4096, 3)).get();  // sharded: fan-out 2
+  svc.submit(request_keys(128, 4)).get();   // whole: fan-out 1
+  const auto s = svc.stats();
+  EXPECT_GE(s.shard_fanout_max, 2.0);
+  EXPECT_GT(s.shard_fanout_mean, 1.0);
+  EXPECT_LE(s.shard_fanout_mean, s.shard_fanout_max);
+  EXPECT_GE(s.pool_busy, 0);
+  EXPECT_LE(s.pool_busy, s.pool_size);
+  EXPECT_GT(s.flight_recorded, 0u);
+}
+
+TEST(SortService, TelemetryThreadWritesSeriesAndExposition) {
+  const std::string dir = ::testing::TempDir();
+  const std::string jsonl = dir + "/bsort_test_telemetry.jsonl";
+  const std::string prom = dir + "/bsort_test_metrics.prom";
+  auto cfg = small_service();
+  cfg.telemetry.interval_s = 0.01;
+  cfg.telemetry.jsonl_path = jsonl;
+  cfg.telemetry.prom_path = prom;
+  {
+    service::SortService svc(cfg);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      svc.submit(request_keys(200 + i, i)).get();
+    }
+    svc.shutdown();  // writes one final drained sample
+  }
+
+  std::ifstream jf(jsonl);
+  ASSERT_TRUE(jf.is_open()) << jsonl;
+  std::string line, last;
+  ASSERT_TRUE(std::getline(jf, line));
+  EXPECT_NE(line.find("bsort-telemetry-v1"), std::string::npos);
+  int samples = 0;
+  while (std::getline(jf, line)) {
+    if (line.find("\"type\":\"sample\"") != std::string::npos) {
+      ++samples;
+      last = line;
+    }
+  }
+  EXPECT_GE(samples, 1);
+  // The final sample sees the fully drained service.
+  EXPECT_NE(last.find("\"submitted\":{\"total\":6"), std::string::npos)
+      << last;
+
+  std::ifstream pf(prom);
+  ASSERT_TRUE(pf.is_open()) << prom;
+  std::stringstream ps;
+  ps << pf.rdbuf();
+  EXPECT_NE(ps.str().find("# TYPE bsort_submitted_total counter\n"
+                          "bsort_submitted_total 6"),
+            std::string::npos)
+      << ps.str();
+}
+
+TEST(SortService, FlightDumpPathWrittenAtShutdown) {
+  const std::string path =
+      ::testing::TempDir() + "/bsort_test_flight_dump.jsonl";
+  auto cfg = small_service();
+  cfg.flight_dump_path = path;
+  {
+    service::SortService svc(cfg);
+    svc.submit(request_keys(300, 7)).get();
+  }  // destructor shuts down and dumps
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open()) << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("bsort-flight-v1"), std::string::npos);
+  EXPECT_NE(ss.str().find("\"event\":\"stopped\""), std::string::npos);
+}
+
+TEST(SortService, ExportPerfettoAfterShutdownEmitsServiceTimeline) {
+  auto cfg = small_service();
+  cfg.base.profile_spans = 2048;  // machine tracks ride along
+  service::SortService svc(cfg);
+  const auto res = svc.submit(request_keys(600, 11)).get();
+  svc.shutdown();
+
+  std::ostringstream os;
+  svc.export_perfetto(os);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("bsort-service"), std::string::npos);
+  EXPECT_NE(trace.find("\"queue\""), std::string::npos);
+  EXPECT_NE(trace.find("pool slot 0"), std::string::npos);
+  // The request's flow arrows carry its hex id.
+  EXPECT_NE(trace.find(bsort::util::hex_id(res.trace_id)),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);
 }
 
 }  // namespace

@@ -138,6 +138,85 @@ TEST(ServiceChaos, RepeatOffenderIsQuarantinedAndReplaced) {
   EXPECT_EQ(svc.stats().completed, 1u);
 }
 
+TEST(ServiceChaos, RetryExhaustionDeliversTraceIdAndAttempts) {
+  fault::FaultPlan plan;  // crashes EVERY run: the retry budget must die
+  plan.rules = {{fault::FaultKind::kCrash, /*rank=*/1, /*exchange=*/0}};
+  auto cfg = chaos_service(plan);
+  cfg.pool_size = 1;
+  cfg.max_batch = 1;
+  cfg.retry.max_retries = 1;
+  cfg.retry.base_ms = 1;
+  cfg.retry.max_ms = 1;
+  cfg.retry.jitter = 0;
+  cfg.quarantine_after = 10;
+  service::SortService svc(cfg);
+
+  auto fut = svc.submit(chaos_keys(2048, 17));
+  try {
+    fut.get();
+    FAIL() << "expected RetryExhausted";
+  } catch (const service::RetryExhausted& e) {
+    EXPECT_NE(e.trace_id(), 0u);
+    EXPECT_EQ(e.attempts(), 2);  // the first run + the one retry
+    const std::string what = e.what();
+    EXPECT_NE(what.find("retry budget"), std::string::npos) << what;
+    EXPECT_NE(what.find("0x"), std::string::npos)
+        << "what() must embed the hex trace id: " << what;
+  }
+  EXPECT_GE(svc.stats().retries, 1u);
+}
+
+TEST(ServiceChaos, StatsSnapshotsAreConsistentUnderConcurrentLoad) {
+  // stats() is hammered from one thread while two others push traffic:
+  // every snapshot must be internally consistent (taken under the
+  // service lock — no torn reads) and counters must be monotone across
+  // snapshots.  TSan (which gates this suite in CI) proves the
+  // concurrent flight-recorder/metrics writes race-free.
+  service::ServiceConfig cfg;
+  cfg.base.nprocs = 4;
+  cfg.base.algorithm = api::Algorithm::kSmartBitonic;
+  cfg.pool_size = 2;
+  cfg.max_batch = 4;
+  service::SortService svc(cfg);
+
+  constexpr int kPerThread = 20;
+  std::atomic<int> running{2};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 2; ++t) {
+    submitters.emplace_back([&svc, &running, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto n = static_cast<std::size_t>(64 + 32 * (i % 5));
+        const auto salt = static_cast<std::uint64_t>(t * 1000 + i);
+        static_cast<void>(svc.submit(chaos_keys(n, salt)).get());
+      }
+      running.fetch_sub(1);
+    });
+  }
+
+  std::uint64_t prev_submitted = 0, prev_completed = 0, prev_events = 0;
+  while (running.load() > 0) {
+    const auto s = svc.stats();
+    // Monotone counters: a torn or stale snapshot would go backwards.
+    EXPECT_GE(s.submitted, prev_submitted);
+    EXPECT_GE(s.completed, prev_completed);
+    EXPECT_GE(s.flight_recorded + s.flight_dropped, prev_events);
+    // Internal consistency of one snapshot.
+    EXPECT_GE(s.submitted, s.completed + s.failed);
+    EXPECT_GE(s.pool_busy, 0);
+    EXPECT_LE(s.pool_busy, s.pool_size);
+    EXPECT_LE(s.completed, s.submitted);
+    prev_submitted = s.submitted;
+    prev_completed = s.completed;
+    prev_events = s.flight_recorded + s.flight_dropped;
+  }
+  for (auto& t : submitters) t.join();
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.submitted, 2u * kPerThread);
+  EXPECT_EQ(s.completed, 2u * kPerThread);
+  EXPECT_EQ(s.failed, 0u);
+}
+
 TEST(ServiceChaos, CrashStormEveryFutureResolvesAndPoolRecovers) {
   fault::FaultPlan plan;  // starts EMPTY: pre-chaos traffic is clean
   auto cfg = chaos_service(plan);

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""bsort_top: live terminal dashboard for a running SortService.
+
+Tails a bsort-telemetry-v1 JSONL time-series (the file a SortService
+writes when `ServiceConfig::telemetry.jsonl_path` is set) and renders a
+top-style view: throughput and rejection rates computed from the
+counter deltas, the queue/pool gauges as utilization bars, and the
+latency histograms' quantiles.  Stdlib only; survives the file being
+truncated and rewritten (a service restart) by reopening from the top.
+
+Usage:
+  bsort_top.py TELEMETRY.jsonl            # follow, redraw per sample
+  bsort_top.py TELEMETRY.jsonl --once     # render latest sample, exit
+  bsort_top.py TELEMETRY.jsonl --interval 0.5
+
+--once never clears the screen and exits 0 as soon as at least one
+sample was rendered (1 if the file holds none) — scriptable as a
+smoke-check that telemetry is flowing.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+RATE_COUNTERS = ("submitted", "completed", "failed", "retries", "shed",
+                 "rejected_queue_full", "rejected_deadline", "cancelled")
+HIST_ORDER = ("queue_wait_us", "run_us", "total_us", "batch_size",
+              "shard_fanout")
+PLAIN_HISTS = {"batch_size", "shard_fanout"}  # counts, not microseconds
+
+
+def bar(frac, width=24):
+    frac = max(0.0, min(1.0, frac))
+    full = int(round(frac * width))
+    return "[" + "#" * full + "." * (width - full) + "]"
+
+
+def fmt_us(v):
+    if v >= 1e6:
+        return f"{v / 1e6:8.2f}s "
+    if v >= 1e3:
+        return f"{v / 1e3:8.2f}ms"
+    return f"{v:8.1f}us"
+
+
+def render(sample, prev, out=sys.stdout):
+    """Render one sample (with rates vs `prev`) as a text panel."""
+    t = sample.get("t_s", 0.0)
+    dt = t - prev.get("t_s", 0.0) if prev else 0.0
+    counters = sample.get("counters", {})
+    gauges = sample.get("gauges", {})
+    hists = sample.get("hists", {})
+
+    lines = [f"bsort_top — service uptime {t:10.1f}s"
+             + (f"   (sample interval {dt:.2f}s)" if dt > 0 else "")]
+
+    lines.append("")
+    lines.append("  counters            total        rate/s")
+    for name in RATE_COUNTERS:
+        c = counters.get(name)
+        if c is None:
+            continue
+        rate = c["delta"] / dt if dt > 0 else 0.0
+        lines.append(f"  {name:<18}{c['total']:>9.0f}  {rate:>12.1f}")
+
+    depth = gauges.get("queue_depth", 0)
+    busy = gauges.get("pool_busy", 0)
+    pool = max(1.0, gauges.get("pool_size", 1))
+    lines.append("")
+    lines.append(f"  queue depth {depth:>6.0f}")
+    lines.append(f"  pool busy   {busy:>6.0f}/{pool:<4.0f} "
+                 f"{bar(busy / pool)}")
+    dropped = None
+    for src in (gauges, counters):
+        if "flight_dropped" in src:
+            v = src["flight_dropped"]
+            dropped = v if isinstance(v, (int, float)) else v.get("total", 0)
+            break
+    if dropped is not None:
+        lines.append(f"  flight dropped {dropped:>6.0f} "
+                     f"(ring overwrites; raise flight_capacity if growing)")
+
+    lines.append("")
+    lines.append("  latency             count       p50        p95"
+                 "        p99        max")
+    for name in HIST_ORDER:
+        h = hists.get(name)
+        if h is None or h["count"] == 0:
+            continue
+        fmt = (lambda v: f"{v:8.1f}  ") if name in PLAIN_HISTS else fmt_us
+        lines.append(f"  {name:<18}{h['count']:>7.0f} "
+                     + " ".join(fmt(h[q]) for q in
+                                ("p50", "p95", "p99", "max")))
+    out.write("\n".join(lines) + "\n")
+
+
+def read_samples(path):
+    """All samples currently in the file (skipping the meta line)."""
+    samples = []
+    with open(path) as f:
+        for line in f:
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue  # torn tail write of a live file
+            if obj.get("type") == "sample":
+                samples.append(obj)
+    return samples
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("telemetry", help="bsort-telemetry-v1 JSONL path")
+    ap.add_argument("--once", action="store_true",
+                    help="render the latest sample and exit")
+    ap.add_argument("--interval", type=float, default=1.0,
+                    help="poll period in follow mode (seconds)")
+    args = ap.parse_args(argv)
+
+    if args.once:
+        samples = read_samples(args.telemetry)
+        if not samples:
+            print("bsort_top: no samples yet", file=sys.stderr)
+            return 1
+        render(samples[-1], samples[-2] if len(samples) > 1 else {})
+        return 0
+
+    rendered = -1
+    last_size = -1
+    try:
+        while True:
+            try:
+                size = os.path.getsize(args.telemetry)
+            except OSError:
+                size = -1
+            if size != last_size:
+                last_size = size
+                samples = read_samples(args.telemetry)
+                if len(samples) != rendered and samples:
+                    rendered = len(samples)
+                    sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+                    render(samples[-1],
+                           samples[-2] if len(samples) > 1 else {})
+                    sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
